@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Heavy artifacts (the eleven-sequence SLAM study, the Figure 10 sweeps, the
+interference study) are computed once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.catalog import generate_catalog
+from repro.core.explorer import sweep_wheelbase
+from repro.platforms.perf import run_interference_study
+from repro.slam.dataset import all_sequence_names
+from repro.slam.pipeline import run_slam
+
+#: Frames per sequence for the benchmark SLAM runs.  Full sequences take
+#: minutes in pure Python; 80 frames preserves every stage's cost structure.
+BENCH_SLAM_FRAMES = 80
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return generate_catalog()
+
+
+@pytest.fixture(scope="session")
+def slam_results():
+    """Pipeline runs over all eleven EuRoC-like sequences."""
+    return [
+        run_slam(name, max_frames=BENCH_SLAM_FRAMES)
+        for name in all_sequence_names()
+    ]
+
+
+@pytest.fixture(scope="session")
+def sweeps():
+    """Figure 10 sweeps for the three wheelbase classes."""
+    return {wb: sweep_wheelbase(wb) for wb in (100.0, 450.0, 800.0)}
+
+
+@pytest.fixture(scope="session")
+def interference():
+    return run_interference_study(trace_length=60_000)
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Uniform table printer for every benchmark's paper-style output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

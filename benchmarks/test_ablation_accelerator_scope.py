@@ -1,0 +1,93 @@
+"""Ablation: FPGA accelerator scope.
+
+The paper's FPGA accelerates bundle adjustment and *also* integrates the
+eSLAM feature-extraction front end.  This bench quantifies why: with a
+BA-only accelerator, Amdahl's law caps the total speedup near 1/(1 - BA
+share); adding the front end unlocks the 30x regime.
+"""
+
+import math
+
+import pytest
+
+from repro.platforms.profiles import (
+    PlatformProfile,
+    fpga_profile,
+    rpi4_profile,
+)
+from repro.slam.pipeline import Stage
+
+from conftest import print_table
+
+
+def _ba_only_fpga() -> PlatformProfile:
+    """The FPGA profile with the feature front end removed (RPi handles
+    extraction)."""
+    full = fpga_profile()
+    rpi = rpi4_profile()
+    throughputs = dict(full.stage_throughput_ops_s)
+    throughputs[Stage.FEATURE_EXTRACTION] = rpi.stage_throughput_ops_s[
+        Stage.FEATURE_EXTRACTION
+    ]
+    throughputs[Stage.TRACKING] = rpi.stage_throughput_ops_s[Stage.TRACKING]
+    return PlatformProfile(
+        name="FPGA-BA-only",
+        stage_throughput_ops_s=throughputs,
+        power_overhead_w=full.power_overhead_w * 0.7,
+        weight_overhead_g=full.weight_overhead_g,
+        integration_cost="Medium",
+        fabrication_cost="Medium",
+    )
+
+
+def test_ablation_accelerator_scope(benchmark, slam_results):
+    rpi = rpi4_profile()
+    full = fpga_profile()
+    ba_only = _ba_only_fpga()
+
+    def speedups():
+        rows = []
+        for result in slam_results:
+            base = rpi.total_time_s(result.breakdown)
+            rows.append(
+                (
+                    result.sequence_name,
+                    base / ba_only.total_time_s(result.breakdown),
+                    base / full.total_time_s(result.breakdown),
+                    rpi.ba_time_fraction(result.breakdown),
+                )
+            )
+        return rows
+
+    rows_data = benchmark.pedantic(speedups, rounds=1, iterations=1)
+
+    rows = [
+        (
+            name,
+            f"{ba_speedup:.1f}x",
+            f"{full_speedup:.1f}x",
+            f"{1.0 / (1.0 - ba_share):.1f}x",
+        )
+        for name, ba_speedup, full_speedup, ba_share in rows_data
+    ]
+    print_table(
+        "Ablation — accelerator scope: BA-only vs BA + eSLAM front end",
+        ("sequence", "BA-only FPGA", "full FPGA", "Amdahl cap (BA-only)"),
+        rows,
+    )
+
+    for name, ba_speedup, full_speedup, ba_share in rows_data:
+        amdahl_cap = 1.0 / (1.0 - ba_share)
+        # BA-only speedup respects Amdahl's law...
+        assert ba_speedup < amdahl_cap + 1e-6, name
+        # ...and the full design breaks through it.
+        assert full_speedup > amdahl_cap, name
+        assert full_speedup > 2.0 * ba_speedup, name
+
+    geo = lambda values: math.exp(sum(math.log(v) for v in values) / len(values))
+    ba_geomean = geo([r[1] for r in rows_data])
+    full_geomean = geo([r[2] for r in rows_data])
+    print(f"geomeans: BA-only {ba_geomean:.1f}x, full {full_geomean:.1f}x "
+          f"(paper's full design: 30.7x)")
+    assert ba_geomean < 10.0
+    assert full_geomean > 20.0

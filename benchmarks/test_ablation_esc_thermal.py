@@ -1,0 +1,71 @@
+"""Ablation: deriving Figure 8a's flight-class split from thermals.
+
+The paper asserts racing ESCs "overheat in longer flights".  This bench
+runs the lumped thermal model for both ESC classes across the current range
+and shows the short-flight class crossing its MOSFET limit inside the
+paper's '<5 minutes' envelope while the long-flight class holds steady.
+"""
+
+import math
+
+import pytest
+
+from repro.components.esc import EscClass, esc_unit_weight_g
+from repro.physics.thermal import esc_dissipation_w, esc_thermal_model
+
+from conftest import print_table
+
+CURRENTS_A = (15.0, 25.0, 35.0, 45.0)
+
+
+def _time_to_limit(esc_class: EscClass, current_a: float) -> float:
+    weight = esc_unit_weight_g(current_a, esc_class)
+    model = esc_thermal_model(esc_class, weight)
+    return model.time_to_limit_s(esc_dissipation_w(current_a))
+
+
+def test_ablation_esc_thermal_classes(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (esc_class, current): _time_to_limit(esc_class, current)
+            for esc_class in EscClass
+            for current in CURRENTS_A
+        },
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    for current in CURRENTS_A:
+        long_t = results[(EscClass.LONG_FLIGHT, current)]
+        short_t = results[(EscClass.SHORT_FLIGHT, current)]
+        rows.append(
+            (
+                f"{current:.0f} A",
+                "never" if math.isinf(long_t) else f"{long_t / 60:.1f} min",
+                "never" if math.isinf(short_t) else f"{short_t / 60:.1f} min",
+            )
+        )
+    print_table(
+        "Ablation — ESC time-to-overheat at rated load "
+        "(Figure 8a's class split, derived)",
+        ("rated current", "long-flight ESC", "short-flight (racing) ESC"),
+        rows,
+    )
+
+    for current in CURRENTS_A:
+        long_t = results[(EscClass.LONG_FLIGHT, current)]
+        short_t = results[(EscClass.SHORT_FLIGHT, current)]
+        # Racing ESCs always overheat eventually at rated load, and always
+        # far sooner than the long-flight class.
+        assert math.isfinite(short_t), current
+        assert short_t < long_t, current
+        assert short_t > 60.0, current  # but not instantly
+    # Long-flight ESCs sustain their rated load indefinitely through the
+    # common 15-35 A range.
+    for current in (15.0, 25.0, 35.0):
+        assert math.isinf(results[(EscClass.LONG_FLIGHT, current)]), current
+    # At racing operating points the short-flight class dies inside the
+    # paper's '<5 minutes' envelope (plus margin).
+    for current in (25.0, 35.0, 45.0):
+        assert results[(EscClass.SHORT_FLIGHT, current)] < 600.0, current

@@ -1,0 +1,67 @@
+"""Ablation: thrust-to-weight ratio.
+
+The paper fixes TWR = 2 to find the *highest possible* computation-power
+contribution, and notes (Section 7) that higher TWR values yield a lower
+contribution.  This bench sweeps TWR and verifies that claim.
+"""
+
+import pytest
+
+from repro.core.design import DroneDesign
+from repro.core.equations import InfeasibleDesignError
+
+from conftest import print_table
+
+TWR_VALUES = (2.0, 3.0, 4.0, 5.0)
+
+
+def _twr_sweep(compute_power_w: float = 20.0):
+    results = {}
+    for twr in TWR_VALUES:
+        design = DroneDesign(
+            wheelbase_mm=450.0,
+            battery_cells=3,
+            battery_capacity_mah=4000.0,
+            compute_power_w=compute_power_w,
+            twr=twr,
+        )
+        try:
+            results[twr] = design.evaluate()
+        except InfeasibleDesignError:
+            results[twr] = None
+    return results
+
+
+def test_ablation_twr_lowers_compute_share(benchmark):
+    results = benchmark.pedantic(_twr_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for twr, evaluation in results.items():
+        if evaluation is None:
+            rows.append((f"{twr:.0f}:1", "infeasible", "", "", ""))
+            continue
+        rows.append(
+            (
+                f"{twr:.0f}:1",
+                f"{evaluation.total_weight_g:.0f} g",
+                f"{evaluation.hover_power_w:.0f} W",
+                f"{evaluation.compute_share_hover:.1%}",
+                f"{evaluation.flight_time_min:.1f} min",
+            )
+        )
+    print_table(
+        "Ablation — TWR sweep (20 W chip, 450 mm, 3S 4000 mAh)",
+        ("TWR", "weight", "hover power", "compute share", "flight time"),
+        rows,
+    )
+
+    feasible = {twr: e for twr, e in results.items() if e is not None}
+    assert 2.0 in feasible
+    # Paper conclusion: higher TWR -> heavier propulsion -> lower compute
+    # share and shorter flight time.
+    shares = [feasible[twr].compute_share_hover for twr in sorted(feasible)]
+    assert shares == sorted(shares, reverse=True)
+    times = [feasible[twr].flight_time_min for twr in sorted(feasible)]
+    assert times == sorted(times, reverse=True)
+    # TWR=2 is the boundary: its share is the maximum across the sweep.
+    assert feasible[2.0].compute_share_hover == max(shares)

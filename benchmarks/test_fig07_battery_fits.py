@@ -1,0 +1,46 @@
+"""Figure 7: LiPo battery capacity-to-weight lines per cell configuration.
+
+Regenerates the 250-battery census, re-fits the per-cell-count lines, and
+prints them beside the paper's published coefficients.
+"""
+
+import pytest
+
+from repro.components.battery import FIG7_WEIGHT_FITS
+from repro.core.tradeoffs import compare_battery_fits
+
+from conftest import print_table
+
+
+def test_fig07_battery_weight_fits(benchmark, catalog):
+    comparisons = benchmark.pedantic(
+        compare_battery_fits, args=(catalog,), rounds=3, iterations=1
+    )
+
+    rows = []
+    for comparison in comparisons:
+        rows.append(
+            (
+                comparison.label,
+                f"y = {comparison.recovered.slope:.3f}x + "
+                f"{comparison.recovered.intercept:.1f}",
+                f"y = {comparison.published.slope:.3f}x + "
+                f"{comparison.published.intercept:.1f}",
+                f"{comparison.slope_error:.1%}",
+                f"{comparison.recovered.r_squared:.3f}",
+            )
+        )
+    print_table(
+        "Figure 7 — battery capacity vs weight per configuration",
+        ("config", "recovered fit", "paper fit", "slope err", "R^2"),
+        rows,
+    )
+
+    # Shape assertions: all six lines recovered, ordering preserved.
+    assert len(comparisons) == 6
+    for comparison in comparisons:
+        assert comparison.slope_error < 0.15
+    slopes = {c.label: c.recovered.slope for c in comparisons}
+    assert slopes["6S1P"] > slopes["3S1P"] > slopes["1S1P"]
+    # Published anchor: 6S line.
+    assert FIG7_WEIGHT_FITS[6].slope == pytest.approx(0.116)

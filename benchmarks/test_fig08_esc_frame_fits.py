@@ -1,0 +1,56 @@
+"""Figure 8: (a) ESC max-current vs weight per flight class;
+(b) frame wheelbase vs weight."""
+
+import pytest
+
+from repro.components.esc import FIG8A_WEIGHT_FITS, EscClass
+from repro.components.frame import FIG8B_LARGE_FIT
+from repro.core.tradeoffs import compare_esc_fits, fit_frame_weight
+
+from conftest import print_table
+
+
+def test_fig08a_esc_weight_fits(benchmark, catalog):
+    comparisons = benchmark.pedantic(
+        compare_esc_fits, args=(catalog,), rounds=3, iterations=1
+    )
+    rows = [
+        (
+            c.label,
+            f"y = {c.recovered.slope:.3f}x + {c.recovered.intercept:.1f}",
+            f"y = {c.published.slope:.4f}x + {c.published.intercept:.3f}",
+            f"{c.slope_error:.1%}",
+        )
+        for c in comparisons
+    ]
+    print_table(
+        "Figure 8a — ESC max continuous current vs 4x-ESC weight",
+        ("class", "recovered fit", "paper fit", "slope err"),
+        rows,
+    )
+    by_class = {c.label: c for c in comparisons}
+    assert by_class["long_flight"].recovered.slope > by_class[
+        "short_flight"
+    ].recovered.slope
+    for comparison in comparisons:
+        assert comparison.slope_error < 0.25
+    assert FIG8A_WEIGHT_FITS[EscClass.LONG_FLIGHT].slope == pytest.approx(4.9678)
+
+
+def test_fig08b_frame_weight_fit(benchmark, catalog):
+    fit = benchmark.pedantic(
+        fit_frame_weight, args=(catalog.frames,), rounds=3, iterations=1
+    )
+    print_table(
+        "Figure 8b — frame wheelbase vs weight (wheelbase > 200 mm)",
+        ("recovered fit", "paper fit", "R^2"),
+        [
+            (
+                f"y = {fit.slope:.3f}x + {fit.intercept:.1f}",
+                f"y = {FIG8B_LARGE_FIT.slope}x + {FIG8B_LARGE_FIT.intercept}",
+                f"{fit.r_squared:.3f}",
+            )
+        ],
+    )
+    assert fit.slope == pytest.approx(FIG8B_LARGE_FIT.slope, rel=0.15)
+    assert fit.r_squared > 0.9

@@ -1,0 +1,66 @@
+"""Figure 9: minimum required per-motor max current draw vs basic weight,
+grouped by supply voltage and wheelbase class (TWR = 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tradeoffs import motor_current_curves
+
+from conftest import print_table
+
+WHEELBASES = (50.0, 100.0, 200.0, 450.0, 800.0)
+
+
+def _all_curves():
+    curves = {}
+    for wheelbase in WHEELBASES:
+        max_basic = {50.0: 600, 100.0: 600, 200.0: 1100, 450.0: 1800,
+                     800.0: 2700}[wheelbase]
+        curves[wheelbase] = motor_current_curves(
+            wheelbase,
+            basic_weights_g=np.arange(100.0, max_basic + 1.0, 200.0),
+        )
+    return curves
+
+
+def test_fig09_motor_current_curves(benchmark):
+    curves = benchmark.pedantic(_all_curves, rounds=1, iterations=1)
+
+    for wheelbase, series in curves.items():
+        rows = []
+        for curve in series:
+            samples = ", ".join(
+                f"{w:.0f}g:{c:.1f}A"
+                for w, c in list(zip(curve.basic_weights_g, curve.currents_a))[::3]
+            )
+            rows.append(
+                (
+                    f"{curve.cells}S-{wheelbase:.0f}mm-{curve.propeller_inch:g}\"",
+                    f"{curve.kv_at_max_weight:.0f}Kv",
+                    samples,
+                )
+            )
+        print_table(
+            f"Figure 9 — per-motor max current vs basic weight, "
+            f"{wheelbase:.0f} mm wheelbase",
+            ("series", "Kv @ max wt", "current samples"),
+            rows,
+        )
+
+    # Shape: higher voltage -> lower current at the same weight.
+    for series in curves.values():
+        by_cells = {c.cells: c for c in series}
+        assert np.all(by_cells[6].currents_a < by_cells[1].currents_a)
+
+    # Shape: Kv spans from five digits (tiny props) to hundreds (20").
+    kv_small = curves[50.0][0].kv_at_max_weight  # 1S, 1"
+    kv_large = curves[800.0][-1].kv_at_max_weight  # 6S, 20"
+    assert kv_small > 20_000.0
+    assert kv_large < 800.0
+
+    # Shape: currents grow superlinearly (weight^1.5) within each series.
+    curve = curves[450.0][2]
+    half = len(curve.currents_a) // 2
+    first_half_growth = curve.currents_a[half] - curve.currents_a[0]
+    second_half_growth = curve.currents_a[-1] - curve.currents_a[half]
+    assert second_half_growth > first_half_growth

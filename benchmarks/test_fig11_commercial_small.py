@@ -1,0 +1,56 @@
+"""Figure 11: commercial small drones — hovering/maneuvering power, heavy
+computation contribution, and flight time."""
+
+import pytest
+
+from repro.core.validation import (
+    baseline_compute_share_range,
+    figure11_small_drone_study,
+)
+
+from conftest import print_table
+
+
+def test_fig11_small_drone_study(benchmark):
+    rows_data = benchmark.pedantic(
+        figure11_small_drone_study, rounds=5, iterations=1
+    )
+
+    rows = [
+        (
+            row.name,
+            f"{row.hovering_power_w:.0f} W",
+            f"{row.maneuvering_power_w:.0f} W",
+            f"{row.heavy_compute_share_hovering:.1%}",
+            f"{row.flight_time_min:.0f} min",
+        )
+        for row in rows_data
+    ]
+    print_table(
+        "Figure 11 — commercial small drones",
+        ("drone", "hover power", "maneuver power", "heavy compute %", "flight time"),
+        rows,
+    )
+    low, high = baseline_compute_share_range()
+    print(f"baseline (non-heavy) hover compute share: {low:.1%} .. {high:.1%} "
+          f"(paper: 2-7%)")
+
+    # Shape: six drones in the paper's order, Mambo first.
+    assert [r.name for r in rows_data][0] == "Parrot Mambo"
+    assert len(rows_data) == 6
+
+    # Paper: heavy compute pushes the share to 10-20% on the smallest.
+    shares = {r.name: r.heavy_compute_share_hovering for r in rows_data}
+    assert shares["Parrot Mambo"] > 0.10
+    assert max(shares.values()) < 0.45
+
+    # Paper: up to ~+5 minutes (or ~20%) recoverable on small drones.
+    mambo = rows_data[0]
+    recoverable = mambo.flight_time_min * shares["Parrot Mambo"] / (
+        1 - shares["Parrot Mambo"]
+    )
+    assert 0.5 < recoverable < 6.0
+
+    # Maneuvering power always exceeds hovering power.
+    for row in rows_data:
+        assert row.maneuvering_power_w > row.hovering_power_w

@@ -1,0 +1,73 @@
+"""Figure 12: the procedure for quantifying total/compute power in drones.
+
+Walks the full flowchart — start from a frame, add sensors/compute/payload,
+estimate lift power at TWR=2, select a battery, compute flight time, compare
+with commercial drones, then quantify an optimization — and prints the
+recorded trail.
+"""
+
+import pytest
+
+from repro.components.compute import find_board
+from repro.components.sensors import find_sensor
+from repro.core.validation import validate_against_commercial
+from repro.core.wizard import DesignWizard
+
+from conftest import print_table
+
+
+def _run_procedure():
+    wizard = DesignWizard(wheelbase_mm=450.0)
+    wizard.add_board(find_board("Raspberry Pi 4"))
+    wizard.add_sensor(find_sensor("Night Eagle 2"))
+    wizard.add_payload(150.0)
+    # A compact 3S build: the small-drone regime where compute-power
+    # optimization pays (heavy 6S builds amortize the chip instead).
+    evaluation = wizard.select_battery(3, 3000.0)
+    outcome = wizard.quantify_optimization(
+        power_saved_w=5.0 - 0.417, weight_delta_g=25.0
+    )
+    return wizard, evaluation, outcome
+
+
+def test_fig12_procedure(benchmark):
+    wizard, evaluation, outcome = benchmark.pedantic(
+        _run_procedure, rounds=1, iterations=1
+    )
+
+    print(f"\n=== Figure 12 — the quantification procedure ===")
+    print(wizard.report())
+    print(f"\n%ComputePower from total: {evaluation.compute_share_hover:.1%}")
+    print(f"Total gained flight time from FPGA offload: "
+          f"{outcome.gained_flight_time_min:+.2f} min")
+
+    # Compare-with-commercial step (the flowchart's validation box).
+    comparable = [
+        p for p in validate_against_commercial()
+        if p.power_ratio is not None
+        and abs(p.drone.weight_g - evaluation.total_weight_g) < 600.0
+    ]
+    rows = [
+        (p.drone.name, f"{p.drone.weight_g:.0f} g",
+         f"{p.implied_average_power_w:.0f} W",
+         f"{evaluation.hover_power_w:.0f} W (ours)")
+        for p in comparable[:4]
+    ]
+    print_table(
+        "Comparable commercial drones",
+        ("drone", "weight", "implied power", "our design"),
+        rows,
+    )
+
+    # The procedure's outputs exist and are consistent.
+    assert evaluation.flight_time_min > 10.0
+    assert 0.0 < evaluation.compute_share_hover < 0.3
+    assert outcome.gained_flight_time_min > 0.0
+    # Drone weight ~4x frame weight (the flowchart's rule of thumb).
+    ratio = evaluation.total_weight_g / evaluation.weight.frame_g
+    assert 2.0 < ratio < 6.0
+    # The trail recorded every step.
+    titles = [step.title for step in wizard.steps]
+    assert "Start with a frame" in titles
+    assert "Quantify optimization" in titles
+    assert comparable, "no commercial drones in the comparable weight band"

@@ -1,0 +1,40 @@
+"""Figure 14: the open-source reference drone's weight breakdown."""
+
+import pytest
+
+from repro.reference.build import (
+    catalog_consistency,
+    total_weight_g,
+    weight_breakdown,
+)
+
+from conftest import print_table
+
+
+def test_fig14_weight_breakdown(benchmark):
+    parts = benchmark.pedantic(weight_breakdown, rounds=10, iterations=1)
+
+    rows = [
+        (part.name, f"{part.weight_g:.0f} g", f"{part.share:.0%}")
+        for part in parts
+    ]
+    rows.append(("TOTAL", f"{total_weight_g():.0f} g", "100%"))
+    print_table(
+        "Figure 14 — reference drone weight breakdown",
+        ("part", "weight", "share"),
+        rows,
+    )
+    consistency = catalog_consistency()
+    print("catalog-fit consistency (model/actual):",
+          {k: round(v, 2) for k, v in consistency.items()})
+
+    # The figure's headline shares.
+    shares = {part.name: part.share for part in parts}
+    assert shares["frame"] == pytest.approx(0.25, abs=0.01)
+    assert shares["battery"] == pytest.approx(0.23, abs=0.01)
+    assert shares["motors"] == pytest.approx(0.21, abs=0.01)
+    assert shares["esc"] == pytest.approx(0.10, abs=0.01)
+    assert total_weight_g() == pytest.approx(1071.0)
+    # Section 3.1 trends hold for the real build.
+    for name, ratio in consistency.items():
+        assert 0.5 < ratio < 2.0, name

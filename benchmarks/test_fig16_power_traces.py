@@ -1,0 +1,65 @@
+"""Figure 16: (a) RPi power across software phases; (b) whole-drone power
+during a takeoff / hover / maneuver / land flight."""
+
+import pytest
+
+from repro.sim.power_trace import (
+    RPI_AUTOPILOT_SLAM_FLYING_W,
+    RPI_AUTOPILOT_SLAM_IDLE_W,
+    RPI_AUTOPILOT_W,
+    figure16a_trace,
+    figure16b_trace,
+)
+
+from conftest import print_table
+
+
+def test_fig16a_rpi_power_phases(benchmark):
+    trace = benchmark.pedantic(figure16a_trace, rounds=3, iterations=1)
+
+    rows = [
+        (label, f"{trace.phase_mean_w(label):.2f} W")
+        for label in trace.phase_labels
+    ]
+    print_table("Figure 16a — RPi power by phase", ("phase", "mean power"), rows)
+    print(f"peak: {trace.peak_power_w():.2f} W (paper: up to ~5 W)")
+
+    assert trace.phase_mean_w("autopilot") == pytest.approx(
+        RPI_AUTOPILOT_W, abs=0.1
+    )
+    assert trace.phase_mean_w("autopilot+slam-idle") == pytest.approx(
+        RPI_AUTOPILOT_SLAM_IDLE_W, abs=0.1
+    )
+    assert trace.phase_mean_w("autopilot+slam-flying") == pytest.approx(
+        RPI_AUTOPILOT_SLAM_FLYING_W, abs=0.1
+    )
+    assert 4.5 < trace.peak_power_w() < 5.6
+    # Phase ordering: each software addition raises power.
+    assert (
+        trace.phase_mean_w("autopilot")
+        < trace.phase_mean_w("autopilot+slam-idle")
+        < trace.phase_mean_w("autopilot+slam-flying")
+    )
+
+
+def test_fig16b_whole_drone_power(benchmark):
+    trace = benchmark.pedantic(figure16b_trace, rounds=1, iterations=1)
+
+    rows = [
+        (label, f"{trace.phase_mean_w(label):.1f} W")
+        for label in trace.phase_labels
+    ]
+    print_table(
+        "Figure 16b — whole-drone power during flight",
+        ("phase", "mean power"),
+        rows,
+    )
+    average = trace.mean_power_w(6.0, 36.0)
+    peak = trace.peak_power_w()
+    print(f"flight average: {average:.1f} W (paper ~130 W); "
+          f"peak: {peak:.1f} W (paper ~250 W)")
+
+    # Shape: ~130 W average, higher while maneuvering, peaks well above.
+    assert 90.0 < average < 170.0
+    assert trace.phase_mean_w("aggressive") > trace.phase_mean_w("hover")
+    assert 150.0 < peak < 320.0

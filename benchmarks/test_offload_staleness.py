@@ -1,0 +1,75 @@
+"""Section 2.1.3-B extension: offloading computation over MAVLink.
+
+Quantifies pose staleness when SLAM runs on an off-board node (ground
+station / companion computer) reached over a latent, lossy link — the
+operational question behind 'a MAVLink protocol offloads computations to
+another node'.
+"""
+
+import pytest
+
+from repro.autopilot.offload import evaluate_offload
+from repro.platforms.profiles import fpga_profile, rpi4_profile, tx2_profile
+
+from conftest import print_table
+
+SCENARIOS = (
+    ("on-board RPi link", rpi4_profile, 0.002, 0.0),
+    ("companion TX2", tx2_profile, 0.005, 0.0),
+    ("ground station TX2 (WiFi)", tx2_profile, 0.030, 0.05),
+    ("ground station TX2 (915 MHz)", tx2_profile, 0.080, 0.15),
+    ("on-board FPGA", fpga_profile, 0.001, 0.0),
+)
+
+
+def test_offload_staleness(benchmark, slam_results):
+    result = slam_results[0]  # MH01
+
+    def run_all():
+        reports = []
+        for name, profile_factory, latency, loss in SCENARIOS:
+            reports.append(
+                (
+                    name,
+                    evaluate_offload(
+                        result,
+                        profile_factory(),
+                        loss_probability=loss,
+                        one_way_latency_s=latency,
+                    ),
+                )
+            )
+        return reports
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (
+            name,
+            f"{report.mean_staleness_s * 1000:.0f} ms",
+            f"{report.worst_staleness_s * 1000:.0f} ms",
+            f"{report.delivery_rate:.0%}",
+            f"{report.worst_update_gap_s * 1000:.0f} ms",
+        )
+        for name, report in reports
+    ]
+    print_table(
+        "Offload pose staleness (SLAM on MH01, 20 FPS)",
+        ("configuration", "mean staleness", "worst", "delivered", "worst gap"),
+        rows,
+    )
+
+    by_name = dict(reports)
+    # On-board accelerator keeps poses freshest.
+    assert (
+        by_name["on-board FPGA"].mean_staleness_s
+        < by_name["companion TX2"].mean_staleness_s
+        < by_name["ground station TX2 (915 MHz)"].mean_staleness_s
+    )
+    # A lossy long-range link must still deliver most poses...
+    assert by_name["ground station TX2 (915 MHz)"].delivery_rate > 0.7
+    # ...but its staleness makes outer-loop position targets ~0.2 s old —
+    # acceptable for the position loop (1 s response), never for the
+    # inner loop, which is the paper's architectural point.
+    staleness = by_name["ground station TX2 (915 MHz)"].mean_staleness_s
+    assert 0.1 < staleness < 1.0

@@ -1,0 +1,92 @@
+"""Table 2: (a) on-board sensor data frequencies; (b) controller update
+frequencies and response times — measured from the running multirate stack."""
+
+import numpy as np
+import pytest
+
+from repro.control.cascade import HierarchicalController
+from repro.physics import constants
+from repro.physics.rigid_body import QuadcopterBody
+from repro.sensors.suite import TABLE2A_SENSOR_RATES_HZ, SensorSuite
+
+from conftest import print_table
+
+
+def _measure_sensor_rates(duration_s: float = 5.0):
+    suite = SensorSuite()
+    body = QuadcopterBody(mass_kg=1.0, arm_length_m=0.225)
+    ticks = int(duration_s * 1000)
+    for _ in range(ticks):
+        suite.poll(body.state, 1e-3)
+    return {
+        name: count / duration_s
+        for name, count in suite.sample_counts().items()
+    }
+
+
+def test_table2a_sensor_rates(benchmark):
+    rates = benchmark.pedantic(_measure_sensor_rates, rounds=1, iterations=1)
+
+    paper_bands = {
+        "imu": TABLE2A_SENSOR_RATES_HZ["accelerometer"],
+        "barometer": TABLE2A_SENSOR_RATES_HZ["barometer"],
+        "gps": TABLE2A_SENSOR_RATES_HZ["gps"],
+        "magnetometer": TABLE2A_SENSOR_RATES_HZ["magnetometer"],
+    }
+    rows = [
+        (name, f"{rate:.0f} Hz", f"{band[0]:.0f}-{band[1]:.0f} Hz")
+        for (name, rate), band in zip(sorted(rates.items()),
+                                      (paper_bands[n] for n in sorted(rates)))
+    ]
+    print_table(
+        "Table 2a — measured sensor data frequencies",
+        ("sensor", "measured", "paper band"),
+        rows,
+    )
+    for name, rate in rates.items():
+        low, high = paper_bands[name]
+        assert low * 0.9 <= rate <= high * 1.1, name
+
+
+def _measure_controller_rates(duration_s: float = 2.0):
+    body = QuadcopterBody(mass_kg=1.0, arm_length_m=0.225)
+    controller = HierarchicalController(
+        mass_kg=1.0,
+        arm_length_m=0.225,
+        inertia_kg_m2=body.inertia_kg_m2,
+        max_thrust_per_motor_n=5.0,
+    )
+    controller.set_position_target(np.array([0.0, 0.0, 2.0]))
+    ticks = int(duration_s * 1000)
+    for _ in range(ticks):
+        thrusts = controller.tick(body.state, 1e-3)
+        body.step(thrusts, 1e-3)
+    return {
+        name: count / duration_s
+        for name, count in controller.update_counts().items()
+    }
+
+
+def test_table2b_controller_rates(benchmark):
+    rates = benchmark.pedantic(_measure_controller_rates, rounds=1, iterations=1)
+
+    paper = {
+        "thrust": (constants.THRUST_LOOP_HZ, "50 ms"),
+        "attitude": (constants.ATTITUDE_LOOP_HZ, "100 ms"),
+        "position": (constants.POSITION_LOOP_HZ, "1 s"),
+    }
+    rows = [
+        (name, f"{rates[name]:.0f} Hz", f"{freq:.0f} Hz", response)
+        for name, (freq, response) in paper.items()
+    ]
+    print_table(
+        "Table 2b — controller update frequencies (and paper response times)",
+        ("controller", "measured", "paper", "paper response"),
+        rows,
+    )
+    for name, (freq, _) in paper.items():
+        assert rates[name] == pytest.approx(freq, rel=0.05), name
+
+    # The inner-loop envelope the paper derives: 50-500 Hz is enough, and no
+    # level needs more than 1 kHz.
+    assert max(rates.values()) <= 1000.0 * 1.01

@@ -1,0 +1,58 @@
+"""Table 4: flight controllers, compute boards, and external sensors."""
+
+import pytest
+
+from repro.components.compute import (
+    BoardClass,
+    boards_by_class,
+    table4_flight_controllers,
+)
+from repro.components.sensors import table4_external_sensors
+
+from conftest import print_table
+
+
+def test_table4_census(benchmark):
+    boards = benchmark.pedantic(table4_flight_controllers, rounds=10,
+                                iterations=1)
+    sensors = table4_external_sensors()
+
+    rows = [
+        (
+            board.board_class.value,
+            f"{board.manufacturer} {board.name}",
+            f"{board.weight_g:g} g",
+            f"{board.power_w:.2f} W",
+        )
+        for board in boards
+    ]
+    print_table(
+        "Table 4 — flight controllers & computation",
+        ("class", "board", "weight", "power"),
+        rows,
+    )
+    rows = [
+        (
+            sensor.kind.value,
+            f"{sensor.manufacturer} {sensor.name}",
+            f"{sensor.weight_g:g} g",
+            f"{sensor.power_w:g} W" + (" (self-powered)" if sensor.self_powered else ""),
+        )
+        for sensor in sensors
+    ]
+    print_table(
+        "Table 4 — external sensors",
+        ("kind", "sensor", "weight", "power"),
+        rows,
+    )
+
+    # Census shape: 10 boards split basic/improved; power spans 0.5-20 W.
+    assert len(boards) == 10
+    assert len(boards_by_class(BoardClass.BASIC)) == 5
+    assert len(boards_by_class(BoardClass.IMPROVED)) == 5
+    powers = [b.power_w for b in boards]
+    assert min(powers) <= 0.75
+    assert max(powers) == pytest.approx(20.0)
+    # All basic controllers use the STM32F Cortex-M family (paper claim).
+    for board in boards_by_class(BoardClass.BASIC):
+        assert "STM32F" in board.processor

@@ -1,0 +1,68 @@
+"""Table 5: comparing the costs of RPi / TX2 / FPGA / ASIC for SLAM —
+speedup, power and weight overheads, integration/fabrication cost, and
+gained flight time for small and large drones."""
+
+import pytest
+
+from repro.platforms.profiles import best_platform, figure17_study, table5
+
+from conftest import print_table
+
+
+def test_table5_platform_costs(benchmark, slam_results):
+    study = figure17_study(slam_results)
+    rows_data = benchmark.pedantic(
+        table5, args=(study,), rounds=3, iterations=1
+    )
+
+    rows = [
+        (
+            row.platform,
+            f"{row.slam_speedup:.2f}x",
+            f"{row.power_overhead_w:g} W",
+            f"~{row.weight_overhead_g:.0f} g",
+            row.integration_cost,
+            row.fabrication_cost,
+            f"{row.gained_flight_time_small_min:+.1f} min",
+            f"{row.gained_flight_time_large_min:+.1f} min",
+        )
+        for row in rows_data
+    ]
+    print_table(
+        "Table 5 — platform costs for SLAM (baseline flight time 15 min)",
+        ("platform", "speedup", "power", "weight", "integ.", "fab.",
+         "gain small", "gain large"),
+        rows,
+    )
+    print(f"best platform by cost-effectiveness: "
+          f"{best_platform(rows_data).platform} (paper: FPGA)")
+
+    mapped = {row.platform: row for row in rows_data}
+
+    # Paper column anchors.
+    assert mapped["RPi"].slam_speedup == 1.0
+    assert mapped["TX2"].slam_speedup == pytest.approx(2.16, rel=0.25)
+    assert mapped["FPGA"].slam_speedup == pytest.approx(30.70, rel=0.30)
+    assert mapped["ASIC"].slam_speedup == pytest.approx(23.53, rel=0.30)
+
+    assert mapped["RPi"].power_overhead_w == pytest.approx(2.0)
+    assert mapped["TX2"].power_overhead_w == pytest.approx(10.0)
+    assert mapped["FPGA"].power_overhead_w == pytest.approx(0.417, abs=0.01)
+    assert mapped["ASIC"].power_overhead_w == pytest.approx(0.024, abs=0.002)
+
+    # Gained flight time: TX2 ~-4/-1.5; FPGA ~2-3/~1; ASIC ~2.2-3.2/~1.
+    assert mapped["TX2"].gained_flight_time_small_min == pytest.approx(-4.0, abs=1.2)
+    assert mapped["TX2"].gained_flight_time_large_min == pytest.approx(-1.5, abs=0.7)
+    assert 2.0 < mapped["FPGA"].gained_flight_time_small_min < 3.2
+    assert 0.7 < mapped["FPGA"].gained_flight_time_large_min < 1.3
+    assert 2.2 <= mapped["ASIC"].gained_flight_time_small_min <= 3.3
+
+    # The ASIC's extra 20x power saving over FPGA buys only seconds.
+    extra_seconds = (
+        mapped["ASIC"].gained_flight_time_small_min
+        - mapped["FPGA"].gained_flight_time_small_min
+    ) * 60.0
+    assert 0.0 < extra_seconds < 40.0
+
+    # The paper's conclusion.
+    assert best_platform(rows_data).platform == "FPGA"

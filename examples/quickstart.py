@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: design a drone, read its tradeoffs, fly it.
+
+Covers the library's three core surfaces in ~40 lines of user code:
+
+1. the design-space engine (Equations 1-7) — describe a configuration,
+   get weight closure, power, flight time, and the compute-power share;
+2. the Figure 12 wizard — quantify what a compute optimization buys;
+3. the closed-loop simulator via the DroneKit-like API — fly the design.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.autopilot.dronekit import connect
+from repro.core.design import DroneDesign
+from repro.core.wizard import DesignWizard
+from repro.sim.simulator import DroneModel
+
+
+def main() -> None:
+    # 1. Design: a 450 mm quad on a 3S 3000 mAh pack with a 5 W companion
+    #    computer (RPi-class) running heavy computation.
+    design = DroneDesign(
+        wheelbase_mm=450.0,
+        battery_cells=3,
+        battery_capacity_mah=3000.0,
+        compute_power_w=5.0,
+        compute_weight_g=50.0,
+    )
+    evaluation = design.evaluate()
+    print("== Design evaluation ==")
+    print(evaluation.summary())
+    print("weight breakdown (g):",
+          {k: round(v) for k, v in evaluation.weight.as_dict().items()})
+
+    # 2. Quantify: what would offloading that 5 W workload to a 0.4 W FPGA
+    #    buy us?  (The Section 5 showcase, in three lines.)
+    wizard = DesignWizard(wheelbase_mm=450.0)
+    wizard.add_compute(power_w=5.0, weight_g=50.0)
+    wizard.select_battery(3, 3000.0)
+    outcome = wizard.quantify_optimization(
+        power_saved_w=5.0 - 0.417, weight_delta_g=25.0
+    )
+    print("\n== FPGA offload outcome ==")
+    print(f"gained flight time: {outcome.gained_flight_time_min:+.2f} min "
+          f"(new total {outcome.new_flight_time_min:.1f} min)")
+
+    # 3. Fly it: the same configuration in the closed-loop simulator.
+    model = DroneModel(
+        mass_kg=evaluation.total_weight_g / 1000.0,
+        wheelbase_mm=450.0,
+        battery_cells=3,
+        battery_capacity_mah=3000.0,
+        compute_power_w=5.0,
+    )
+    vehicle = connect(model)
+    vehicle.armed = True
+    vehicle.simple_takeoff(5.0, wait_s=8.0)
+    print("\n== Flight test ==")
+    print(f"altitude: {vehicle.location.altitude:.2f} m, "
+          f"battery: {vehicle.battery.level:.1%}")
+    vehicle.simple_goto(5.0, 5.0, 5.0, wait_s=7.0)
+    print(f"reached ({vehicle.location.east:.1f}, {vehicle.location.north:.1f}) "
+          f"at {vehicle.location.altitude:.1f} m")
+    vehicle.mode = "land"
+    vehicle.wait(8.0)
+    print(f"landed; final altitude {vehicle.location.altitude:.2f} m")
+    vehicle.armed = False
+    vehicle.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Autopilot stack: ArduCopter-like flight code, DroneKit-like API, and a
+MAVLink-like transport (paper Section 4)."""
+
+from repro.autopilot.arducopter import (
+    ArmingError,
+    Autopilot,
+    FlightMode,
+    Geofence,
+    MissionItem,
+)
+from repro.autopilot.dronekit import BatteryInfo, LocationLocal, Vehicle, connect
+from repro.autopilot.offload import (
+    OffboardComputeNode,
+    OffloadReport,
+    PoseUpdate,
+    evaluate_offload,
+)
+from repro.autopilot.mavlink import (
+    Command,
+    FrameError,
+    Link,
+    Message,
+    MessageType,
+    decode,
+)
+
+__all__ = [
+    "ArmingError",
+    "Autopilot",
+    "FlightMode",
+    "Geofence",
+    "MissionItem",
+    "BatteryInfo",
+    "LocationLocal",
+    "Vehicle",
+    "connect",
+    "OffboardComputeNode",
+    "OffloadReport",
+    "PoseUpdate",
+    "evaluate_offload",
+    "Command",
+    "FrameError",
+    "Link",
+    "Message",
+    "MessageType",
+    "decode",
+]

@@ -1,0 +1,274 @@
+"""ArduCopter-like autopilot.
+
+The flight-code layer of the paper's stack (Figure 5): flight modes, arming
+checks, command handling over the MAVLink-like link, battery failsafe, and
+mission execution — all driving the closed-loop simulator underneath
+instead of real ESCs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autopilot.mavlink import Command, Link, MessageType
+from repro.sim.simulator import FlightSimulator
+
+
+class FlightMode(enum.Enum):
+    STABILIZE = "stabilize"
+    GUIDED = "guided"
+    AUTO = "auto"
+    LAND = "land"
+    RTL = "rtl"
+
+
+#: SET_MODE payload index -> mode (mirrors custom-mode numbers loosely).
+MODE_IDS = {
+    0.0: FlightMode.STABILIZE,
+    4.0: FlightMode.GUIDED,
+    3.0: FlightMode.AUTO,
+    9.0: FlightMode.LAND,
+    6.0: FlightMode.RTL,
+}
+
+
+class ArmingError(RuntimeError):
+    """Raised when pre-arm checks fail."""
+
+
+@dataclass
+class Geofence:
+    """A cylindrical fence around home: breach triggers a failsafe.
+
+    The safety-override path the paper routes through the inner loop for
+    minimum latency; ArduCopter calls this the cylinder fence.
+    """
+
+    radius_m: float = 50.0
+    ceiling_m: float = 30.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0 or self.ceiling_m <= 0:
+            raise ValueError("fence dimensions must be positive")
+
+    def breached(self, position_m: np.ndarray, home_m: np.ndarray) -> bool:
+        if not self.enabled:
+            return False
+        horizontal = float(
+            np.linalg.norm(np.asarray(position_m)[0:2] - np.asarray(home_m)[0:2])
+        )
+        return horizontal > self.radius_m or float(position_m[2]) > self.ceiling_m
+
+
+@dataclass
+class MissionItem:
+    """One AUTO-mode waypoint."""
+
+    position_m: np.ndarray
+    hold_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position_m = np.asarray(self.position_m, dtype=float)
+        if self.position_m.shape != (3,):
+            raise ValueError("mission item position must be a 3-vector")
+        if self.hold_s < 0:
+            raise ValueError("hold time cannot be negative")
+
+
+class Autopilot:
+    """The flight-code state machine over the simulator."""
+
+    LOW_BATTERY_SOC = 0.25
+    CRITICAL_BATTERY_SOC = 0.18
+    WAYPOINT_RADIUS_M = 0.6
+
+    def __init__(
+        self,
+        sim: FlightSimulator,
+        link: Optional[Link] = None,
+        geofence: Optional[Geofence] = None,
+    ):
+        self.sim = sim
+        self.link = link or Link()
+        self.mode = FlightMode.STABILIZE
+        self.armed = False
+        self.home_m = sim.body.state.position_m.copy()
+        self.mission: List[MissionItem] = []
+        self._mission_index = 0
+        self._hold_until_s: Optional[float] = None
+        self.failsafe_triggered = False
+        self.geofence = geofence or Geofence()
+        self.fence_breached = False
+        self.events: List[Tuple[float, str]] = []
+
+    # -- arming -----------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Pre-arm checks then arm; raises :class:`ArmingError` on failure."""
+        if self.armed:
+            raise ArmingError("already armed")
+        soc = self.sim.battery.state_of_charge
+        if soc < self.LOW_BATTERY_SOC:
+            raise ArmingError(f"battery too low to arm: {soc:.0%}")
+        if self.sim.depleted:
+            raise ArmingError("battery depleted")
+        tilt = float(np.linalg.norm(self.sim.body.state.euler_rad[0:2]))
+        if tilt > np.radians(20.0):
+            raise ArmingError(f"airframe tilted {np.degrees(tilt):.0f} deg")
+        self.armed = True
+        self.home_m = self.sim.body.state.position_m.copy()
+        self._log("armed")
+
+    def disarm(self) -> None:
+        if not self.armed:
+            raise ArmingError("not armed")
+        altitude = float(self.sim.body.state.position_m[2])
+        if altitude > 0.3:
+            raise ArmingError(f"refusing to disarm at {altitude:.1f} m altitude")
+        self.armed = False
+        self._log("disarmed")
+
+    # -- commands ----------------------------------------------------------------
+
+    def set_mode(self, mode: FlightMode) -> None:
+        self.mode = mode
+        self._log(f"mode={mode.value}")
+        if mode is FlightMode.LAND:
+            current = self.sim.body.state.position_m
+            self.sim.goto(np.array([current[0], current[1], 0.0]))
+        elif mode is FlightMode.RTL:
+            self.sim.goto(
+                np.array([self.home_m[0], self.home_m[1], max(3.0, self.home_m[2])])
+            )
+
+    def takeoff(self, altitude_m: float) -> None:
+        if not self.armed:
+            raise ArmingError("cannot take off while disarmed")
+        if altitude_m <= 0:
+            raise ValueError(f"takeoff altitude must be positive: {altitude_m}")
+        self.mode = FlightMode.GUIDED
+        current = self.sim.body.state.position_m
+        self.sim.goto(np.array([current[0], current[1], altitude_m]))
+        self._log(f"takeoff to {altitude_m:.1f} m")
+
+    def goto(self, position_m: np.ndarray) -> None:
+        if self.mode is not FlightMode.GUIDED:
+            raise RuntimeError(f"goto requires GUIDED mode, in {self.mode.value}")
+        self.sim.goto(np.asarray(position_m, dtype=float))
+
+    def upload_mission(self, items: List[MissionItem]) -> None:
+        if not items:
+            raise ValueError("mission cannot be empty")
+        self.mission = list(items)
+        self._mission_index = 0
+        self._log(f"mission uploaded: {len(items)} items")
+
+    # -- main loop ----------------------------------------------------------------
+
+    def update(self, duration_s: float = 0.1) -> None:
+        """Run the autopilot and simulator forward by ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        self._process_link()
+        self._battery_failsafe()
+        self._fence_check()
+        if self.mode is FlightMode.AUTO and self.armed:
+            self._advance_mission()
+        self.sim.run_for(duration_s)
+        self._send_state_report()
+
+    def _process_link(self) -> None:
+        for message in self.link.drain():
+            if message.message_type is MessageType.COMMAND_LONG:
+                self._handle_command(message.payload)
+            elif message.message_type is MessageType.SET_POSITION_TARGET:
+                if len(message.payload) < 3:
+                    continue
+                if self.mode is FlightMode.GUIDED and self.armed:
+                    self.sim.goto(np.asarray(message.payload[0:3], dtype=float))
+
+    def _handle_command(self, payload: Tuple[float, ...]) -> None:
+        if not payload:
+            return
+        command = Command(int(payload[0]))
+        if command is Command.ARM_DISARM:
+            if len(payload) > 1 and payload[1] >= 0.5:
+                if not self.armed:
+                    self.arm()
+            elif self.armed:
+                self.disarm()
+        elif command is Command.TAKEOFF and len(payload) > 1:
+            self.takeoff(float(payload[1]))
+        elif command is Command.LAND:
+            self.set_mode(FlightMode.LAND)
+        elif command is Command.RETURN_TO_LAUNCH:
+            self.set_mode(FlightMode.RTL)
+        elif command is Command.SET_MODE and len(payload) > 1:
+            mode = MODE_IDS.get(payload[1])
+            if mode is None:
+                raise ValueError(f"unknown mode id {payload[1]}")
+            self.set_mode(mode)
+
+    def _battery_failsafe(self) -> None:
+        """RTL on low battery, LAND on critical (the safety-override path
+        the paper routes through the inner loop)."""
+        if not self.armed or self.failsafe_triggered:
+            return
+        soc = self.sim.battery.state_of_charge
+        if soc < self.CRITICAL_BATTERY_SOC or self.sim.depleted:
+            self.failsafe_triggered = True
+            self.set_mode(FlightMode.LAND)
+            self._log("FAILSAFE: critical battery -> LAND")
+        elif soc < self.LOW_BATTERY_SOC and self.mode not in (
+            FlightMode.RTL,
+            FlightMode.LAND,
+        ):
+            self.failsafe_triggered = True
+            self.set_mode(FlightMode.RTL)
+            self._log("FAILSAFE: low battery -> RTL")
+
+    def _fence_check(self) -> None:
+        """RTL on geofence breach; latched until mode is changed manually."""
+        if not self.armed or self.fence_breached:
+            return
+        if self.geofence.breached(self.sim.body.state.position_m, self.home_m):
+            self.fence_breached = True
+            self.set_mode(FlightMode.RTL)
+            self._log("FAILSAFE: geofence breach -> RTL")
+
+    def _advance_mission(self) -> None:
+        if self._mission_index >= len(self.mission):
+            self.set_mode(FlightMode.RTL)
+            return
+        item = self.mission[self._mission_index]
+        position = self.sim.body.state.position_m
+        distance = float(np.linalg.norm(position - item.position_m))
+        self.sim.goto(item.position_m)
+        if distance < self.WAYPOINT_RADIUS_M:
+            if self._hold_until_s is None:
+                self._hold_until_s = self.sim.time_s + item.hold_s
+            if self.sim.time_s >= self._hold_until_s:
+                self._mission_index += 1
+                self._hold_until_s = None
+                self._log(f"waypoint {self._mission_index} reached")
+
+    def _send_state_report(self) -> None:
+        state = self.sim.body.state
+        self.link.send(
+            MessageType.STATE_REPORT,
+            tuple(state.position_m)
+            + tuple(state.velocity_m_s)
+            + (self.sim.battery.state_of_charge,),
+        )
+
+    def _log(self, event: str) -> None:
+        self.events.append((self.sim.time_s, event))
+
+    @property
+    def mission_complete(self) -> bool:
+        return bool(self.mission) and self._mission_index >= len(self.mission)

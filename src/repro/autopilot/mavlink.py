@@ -1,0 +1,142 @@
+"""A MAVLink-like message protocol.
+
+The paper's drone uses MAVLink to connect the autopilot, the on-board
+companion computer, and the ground station.  This is a compact functional
+equivalent: framed, checksummed, sequence-numbered messages over an
+in-process link with optional loss — enough to exercise the same
+command/telemetry paths the real stack uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+MAGIC = 0xFD  # MAVLink v2 magic byte
+
+
+class MessageType(enum.IntEnum):
+    HEARTBEAT = 0
+    SET_POSITION_TARGET = 84
+    COMMAND_LONG = 76
+    STATE_REPORT = 30
+    BATTERY_STATUS = 147
+    MISSION_ITEM = 39
+    ACK = 77
+
+
+class Command(enum.IntEnum):
+    """COMMAND_LONG command ids (MAV_CMD subset)."""
+
+    ARM_DISARM = 400
+    TAKEOFF = 22
+    LAND = 21
+    RETURN_TO_LAUNCH = 20
+    SET_MODE = 176
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message."""
+
+    message_type: MessageType
+    payload: Tuple[float, ...] = ()
+    sequence: int = 0
+
+    def encode(self) -> bytes:
+        """Frame: magic, type, seq, count, float payload, checksum."""
+        body = struct.pack(
+            f"<BBHB{len(self.payload)}f",
+            MAGIC,
+            int(self.message_type),
+            self.sequence & 0xFFFF,
+            len(self.payload),
+            *self.payload,
+        )
+        return body + struct.pack("<H", _checksum(body))
+
+
+def _checksum(data: bytes) -> int:
+    """X.25-style CRC-16 (the accumulation MAVLink uses)."""
+    crc = 0xFFFF
+    for byte in data:
+        tmp = byte ^ (crc & 0xFF)
+        tmp = (tmp ^ (tmp << 4)) & 0xFF
+        crc = ((crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^ (tmp >> 4)) & 0xFFFF
+    return crc
+
+
+class FrameError(ValueError):
+    """Raised on malformed or corrupted frames."""
+
+
+def decode(frame: bytes) -> Message:
+    """Parse and checksum-verify one frame."""
+    if len(frame) < 7:
+        raise FrameError(f"frame too short: {len(frame)} bytes")
+    body, received_crc = frame[:-2], struct.unpack("<H", frame[-2:])[0]
+    if _checksum(body) != received_crc:
+        raise FrameError("checksum mismatch")
+    magic, message_type, sequence, count = struct.unpack("<BBHB", body[:5])
+    if magic != MAGIC:
+        raise FrameError(f"bad magic byte: {magic:#x}")
+    expected = 5 + 4 * count
+    if len(body) != expected:
+        raise FrameError(f"payload length mismatch: {len(body)} vs {expected}")
+    payload = struct.unpack(f"<{count}f", body[5:]) if count else ()
+    return Message(
+        message_type=MessageType(message_type),
+        payload=payload,
+        sequence=sequence,
+    )
+
+
+@dataclass
+class Link:
+    """An in-process unreliable link carrying framed messages."""
+
+    loss_probability: float = 0.0
+    seed: int = 9
+    sent: int = field(default=0)
+    delivered: int = field(default=0)
+    _queue: List[bytes] = field(default_factory=list)
+    _sequence: int = field(default=0)
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1): {self.loss_probability}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def send(self, message_type: MessageType, payload: Tuple[float, ...] = ()) -> None:
+        """Frame and transmit; the link may drop it."""
+        message = Message(
+            message_type=message_type, payload=payload, sequence=self._sequence
+        )
+        self._sequence += 1
+        self.sent += 1
+        if self._rng.random() < self.loss_probability:
+            return
+        self._queue.append(message.encode())
+        self.delivered += 1
+
+    def receive(self) -> Optional[Message]:
+        """Pop and decode the next frame, or None when idle."""
+        if not self._queue:
+            return None
+        return decode(self._queue.pop(0))
+
+    def drain(self) -> List[Message]:
+        """Receive everything queued."""
+        messages = []
+        while True:
+            message = self.receive()
+            if message is None:
+                return messages
+            messages.append(message)

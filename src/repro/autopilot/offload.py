@@ -1,0 +1,160 @@
+"""Computation offloading over the MAVLink-like transport.
+
+Paper Section 2.1.3-B: "a MAVLink protocol offloads computations to another
+node."  This module models that path: camera frames are shipped to an
+off-board compute node (a ground station or companion board described by a
+platform profile), processed at the node's throughput, and the resulting
+pose estimates return over a lossy, latent link.  The figure of merit is
+*pose staleness* — how old the newest pose available to the outer loop is —
+which decides whether off-board SLAM can feed navigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autopilot.mavlink import Link, MessageType
+from repro.platforms.profiles import PlatformProfile
+from repro.slam.dataset import FRAME_RATE_HZ
+from repro.slam.pipeline import SlamRunResult, Stage
+
+
+@dataclass(frozen=True)
+class PoseUpdate:
+    """One pose estimate returned by the off-board node."""
+
+    frame_index: int
+    capture_time_s: float
+    delivery_time_s: float
+    position_m: np.ndarray
+
+    @property
+    def staleness_s(self) -> float:
+        return self.delivery_time_s - self.capture_time_s
+
+
+@dataclass
+class OffboardComputeNode:
+    """An off-board SLAM processor reachable over a link.
+
+    Processing time per frame comes from the platform profile and the SLAM
+    run's measured per-frame operation counts; the link adds one-way latency
+    and may drop the result (requiring the next frame to refresh the pose).
+    """
+
+    platform: PlatformProfile
+    link: Link
+    one_way_latency_s: float = 0.015
+    frame_rate_hz: float = FRAME_RATE_HZ
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        if self.frame_rate_hz <= 0:
+            raise ValueError("frame rate must be positive")
+
+    def process_stream(self, result: SlamRunResult) -> List[PoseUpdate]:
+        """Replay the SLAM run through the offload path.
+
+        Returns the pose updates that actually arrived (the link may drop
+        some).  A busy node queues frames; queueing delay adds staleness.
+        """
+        frames = result.frames_processed
+        if frames == 0:
+            raise ValueError("SLAM run processed no frames")
+        ops = result.breakdown.operations
+        per_frame_ops = (
+            ops[Stage.FEATURE_EXTRACTION] + ops[Stage.TRACKING]
+        ) / frames
+        keyframes = max(1, result.keyframes)
+        per_keyframe_ops = ops[Stage.LOCAL_BA] / keyframes
+
+        extraction_throughput = self.platform.stage_throughput_ops_s[
+            Stage.FEATURE_EXTRACTION
+        ]
+        ba_throughput = self.platform.stage_throughput_ops_s[Stage.LOCAL_BA]
+
+        period = 1.0 / self.frame_rate_hz
+        updates: List[PoseUpdate] = []
+        node_free_at = 0.0
+        for index in range(frames):
+            capture = index * period
+            arrival = capture + self.one_way_latency_s
+            start = max(arrival, node_free_at)
+            work = per_frame_ops / extraction_throughput
+            if index % 10 == 0:
+                work += per_keyframe_ops / ba_throughput
+            done = start + work
+            node_free_at = done
+            delivery = done + self.one_way_latency_s
+            position = result.estimated_trajectory[index]
+            # Ship the pose back; the link may drop it.
+            delivered_before = self.link.delivered
+            self.link.send(
+                MessageType.SET_POSITION_TARGET,
+                tuple(float(x) for x in position),
+            )
+            if self.link.delivered == delivered_before:
+                continue  # dropped
+            updates.append(
+                PoseUpdate(
+                    frame_index=index,
+                    capture_time_s=capture,
+                    delivery_time_s=delivery,
+                    position_m=np.asarray(position, dtype=float),
+                )
+            )
+        return updates
+
+
+@dataclass(frozen=True)
+class OffloadReport:
+    """Staleness statistics of an offload configuration."""
+
+    platform: str
+    delivered: int
+    dropped: int
+    mean_staleness_s: float
+    worst_staleness_s: float
+    #: Worst gap between consecutive delivered poses (drops widen it).
+    worst_update_gap_s: float
+
+    @property
+    def delivery_rate(self) -> float:
+        total = self.delivered + self.dropped
+        if total == 0:
+            raise ValueError("no frames were shipped")
+        return self.delivered / total
+
+
+def evaluate_offload(
+    result: SlamRunResult,
+    platform: PlatformProfile,
+    loss_probability: float = 0.0,
+    one_way_latency_s: float = 0.015,
+    seed: int = 13,
+) -> OffloadReport:
+    """Run the offload path and summarize pose staleness."""
+    link = Link(loss_probability=loss_probability, seed=seed)
+    node = OffboardComputeNode(
+        platform=platform, link=link, one_way_latency_s=one_way_latency_s
+    )
+    updates = node.process_stream(result)
+    if not updates:
+        raise ValueError("no pose updates survived the link")
+    staleness = [u.staleness_s for u in updates]
+    gaps = [
+        b.delivery_time_s - a.delivery_time_s
+        for a, b in zip(updates, updates[1:])
+    ] or [0.0]
+    return OffloadReport(
+        platform=platform.name,
+        delivered=len(updates),
+        dropped=result.frames_processed - len(updates),
+        mean_staleness_s=float(np.mean(staleness)),
+        worst_staleness_s=float(np.max(staleness)),
+        worst_update_gap_s=float(np.max(gaps)),
+    )

@@ -1,0 +1,109 @@
+"""Flight controllers and on-board compute boards (paper Table 4).
+
+The paper divides boards into *basic* (inner-loop only, ultra low power) and
+*improved* (customizable inner loop plus some outer-loop capability), then
+abstracts them as two compute power levels — 3 W and 20 W — for the
+computation-footprint study of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.components.base import Component
+
+
+class BoardClass(enum.Enum):
+    """Capability class of a flight controller / compute board (Table 4)."""
+
+    BASIC = "basic"
+    IMPROVED = "improved"
+
+
+#: Representative compute power levels used by the Section 3.2 footprint study.
+BASIC_CHIP_POWER_W = 3.0
+ADVANCED_CHIP_POWER_W = 20.0
+
+
+@dataclass(frozen=True)
+class ComputeBoard(Component):
+    """A flight controller or companion compute board."""
+
+    power_w: float = 1.0
+    board_class: BoardClass = BoardClass.BASIC
+    processor: str = "STM32F Arm Cortex-M"
+    supports_outer_loop: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.power_w <= 0:
+            raise ValueError(f"power must be positive, got {self.power_w}")
+
+
+def _board(
+    name: str,
+    manufacturer: str,
+    weight_g: float,
+    current_a: float,
+    voltage_v: float,
+    board_class: BoardClass,
+    processor: str,
+    supports_outer_loop: bool,
+) -> ComputeBoard:
+    return ComputeBoard(
+        name=name,
+        manufacturer=manufacturer,
+        weight_g=weight_g,
+        power_w=current_a * voltage_v,
+        board_class=board_class,
+        processor=processor,
+        supports_outer_loop=supports_outer_loop,
+    )
+
+
+def table4_flight_controllers() -> List[ComputeBoard]:
+    """The Table 4 census of flight controllers and compute boards."""
+    basic = BoardClass.BASIC
+    improved = BoardClass.IMPROVED
+    return [
+        _board("SucceX-E F4", "iFlight", 7.6, 0.1, 5.0, basic,
+               "STM32F405 Cortex-M4", False),
+        _board("NAZA-M Lite", "DJI", 66.3, 0.3, 5.0, basic,
+               "STM32F Cortex-M", False),
+        _board("NAZA-M V2", "DJI", 82.0, 0.3, 5.0, basic,
+               "STM32F Cortex-M", False),
+        _board("Pixhawk 4", "Pixhawk", 15.8, 0.4, 5.0, basic,
+               "STM32F765 Cortex-M7", False),
+        _board("Mateksys F405", "Mateksys", 17.0, 0.2, 5.0, basic,
+               "STM32F405 Cortex-M4", False),
+        _board("Intel Aero", "Intel", 30.0, 2.0, 5.0, improved,
+               "Intel Atom x7", True),
+        _board("Navio2", "Emlid", 23.0, 0.15, 5.0, improved,
+               "STM32F Cortex-M3 co-processor", True),
+        _board("Raspberry Pi 4", "Raspberry Pi Foundation", 50.0, 1.0, 5.0,
+               improved, "BCM2711 Cortex-A72", True),
+        _board("Jetson TX2", "Nvidia", 85.0, 2.0, 5.0, improved,
+               "Denver2 + Cortex-A57 + Pascal GPU", True),
+        ComputeBoard(
+            name="Manifold", manufacturer="DJI", weight_g=200.0, power_w=20.0,
+            board_class=improved, processor="Tegra K1",
+            supports_outer_loop=True,
+        ),
+    ]
+
+
+def boards_by_class(board_class: BoardClass) -> List[ComputeBoard]:
+    """Table 4 boards filtered to one capability class."""
+    return [b for b in table4_flight_controllers() if b.board_class is board_class]
+
+
+def find_board(name: str) -> ComputeBoard:
+    """Look up a Table 4 board by (case-insensitive) name."""
+    wanted = name.strip().lower()
+    for board in table4_flight_controllers():
+        if board.name.lower() == wanted:
+            return board
+    known = ", ".join(b.name for b in table4_flight_controllers())
+    raise KeyError(f"unknown board {name!r}; known boards: {known}")

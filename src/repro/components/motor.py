@@ -1,0 +1,141 @@
+"""Catalog-level motor products (paper Figure 9 substrate).
+
+``repro.physics.motor`` provides the continuous analytic sizing; this module
+wraps it into discrete commercial products — a motor line has a Kv rating, a
+supported propeller range, a mass, and a max current, the fields hobby
+catalogs publish and the paper's 150-manufacturer census collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.components.base import Component
+from repro.physics import constants
+from repro.physics.motor import BldcMotor, motor_mass_g_for, required_kv_for
+from repro.physics.propeller import PropellerModel, typical_propeller_for
+
+
+@dataclass(frozen=True)
+class MotorSpec(Component):
+    """One commercial BLDC motor product."""
+
+    kv_rpm_per_v: float = 920.0
+    max_current_a: float = 20.0
+    max_propeller_inch: float = 10.0
+    recommended_cells: tuple = (3, 4)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kv_rpm_per_v <= 0:
+            raise ValueError(f"Kv must be positive, got {self.kv_rpm_per_v}")
+        if self.max_current_a <= 0:
+            raise ValueError(f"max current must be positive, got {self.max_current_a}")
+        if self.max_propeller_inch <= 0:
+            raise ValueError("max propeller size must be positive")
+        if not self.recommended_cells:
+            raise ValueError("recommended cell range cannot be empty")
+
+    def to_physics_model(self) -> BldcMotor:
+        """Instantiate the simulator-grade electrical model of this product."""
+        resistance = min(0.5, 2.5 / max(1.0, self.max_current_a))
+        return BldcMotor(
+            kv_rpm_per_v=self.kv_rpm_per_v,
+            resistance_ohm=resistance,
+            no_load_current_a=min(1.0, 0.02 * self.max_current_a + 0.1),
+            mass_g=self.weight_g,
+            max_current_a=self.max_current_a,
+        )
+
+    def max_thrust_g(self, cells: int, propeller: PropellerModel) -> float:
+        """Maximum static thrust (g) on ``cells``-cell supply with ``propeller``.
+
+        Limited by whichever binds first: the RPM ceiling at the supply
+        voltage or the motor's current limit.
+        """
+        if cells <= 0:
+            raise ValueError(f"cells must be positive, got {cells}")
+        motor = self.to_physics_model()
+        supply_v = cells * constants.LIPO_CELL_NOMINAL_V
+        low, high = 0.0, motor.max_rev_per_s(supply_v)
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            torque = propeller.torque_nm(mid)
+            current = motor.current_for_torque_a(torque)
+            voltage = motor.voltage_for_operating_point(mid, current)
+            if voltage <= supply_v and current <= motor.max_current_a:
+                low = mid
+            else:
+                high = mid
+        return constants.newtons_to_grams(propeller.thrust_n(low))
+
+
+def design_motor_product(
+    propeller_inch: float,
+    max_thrust_g: float,
+    cells: int,
+    manufacturer: str = "analytic",
+    kv_noise_fraction: float = 0.0,
+    weight_noise_g: float = 0.0,
+) -> MotorSpec:
+    """Create a motor product sized for a thrust target, like a manufacturer would.
+
+    The product's published Kv and mass follow the analytic sizing relations
+    with optional manufacturer-to-manufacturer noise.
+    """
+    if max_thrust_g <= 0:
+        raise ValueError(f"max thrust must be positive, got {max_thrust_g}")
+    if cells <= 0:
+        raise ValueError(f"cells must be positive, got {cells}")
+    propeller = typical_propeller_for(propeller_inch)
+    supply_v = cells * constants.LIPO_CELL_NOMINAL_V
+    kv = required_kv_for(propeller, max_thrust_g, supply_v)
+    kv *= 1.0 + kv_noise_fraction
+    mass = motor_mass_g_for(kv, max_thrust_g) + weight_noise_g
+    rev_per_s = propeller.rev_per_s_for_thrust(
+        constants.grams_to_newtons(max_thrust_g)
+    )
+    torque = propeller.torque_nm(rev_per_s)
+    kt = constants_kt(kv)
+    max_current = torque / kt * 1.25 + 0.5
+    return MotorSpec(
+        name=f"M{int(propeller_inch * 10):03d}-{int(kv)}KV",
+        manufacturer=manufacturer,
+        weight_g=max(2.0, mass),
+        kv_rpm_per_v=kv,
+        max_current_a=max_current,
+        max_propeller_inch=propeller_inch,
+        recommended_cells=(max(1, cells - 1), cells),
+    )
+
+
+def constants_kt(kv_rpm_per_v: float) -> float:
+    """Torque constant from Kv (local alias to avoid a circular import)."""
+    from repro.physics.motor import kt_from_kv
+
+    return kt_from_kv(kv_rpm_per_v)
+
+
+def motor_line_for_wheelbase(
+    wheelbase_mm: float,
+    cells_options: List[int],
+    thrust_targets_g: List[float],
+    manufacturer: str = "analytic",
+) -> List[MotorSpec]:
+    """A manufacturer's motor line covering a wheelbase across cell counts."""
+    from repro.physics.propeller import max_propeller_inch_for_wheelbase
+
+    propeller_inch = max_propeller_inch_for_wheelbase(wheelbase_mm)
+    products = []
+    for cells in cells_options:
+        for thrust_g in thrust_targets_g:
+            products.append(
+                design_motor_product(
+                    propeller_inch=propeller_inch,
+                    max_thrust_g=thrust_g,
+                    cells=cells,
+                    manufacturer=manufacturer,
+                )
+            )
+    return products

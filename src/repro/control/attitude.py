@@ -1,0 +1,85 @@
+"""Mid-level attitude controller (Table 2: 200 Hz update, 100 ms response).
+
+Two-stage: an angle P loop producing body-rate commands, then body-rate PIDs
+producing torque commands.  This is the classic hierarchical structure the
+paper describes — attitude is the mid level between position and thrust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.pid import PidController
+
+
+@dataclass
+class AttitudeController:
+    """Euler-angle attitude controller producing body torques."""
+
+    inertia_kg_m2: np.ndarray
+    angle_kp: float = 9.0
+    rate_kp: float = 14.0
+    rate_ki: float = 2.5
+    rate_kd: float = 0.12
+    max_rate_rad_s: float = 6.0
+    updates: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.inertia_kg_m2 = np.asarray(self.inertia_kg_m2, dtype=float)
+        if self.inertia_kg_m2.shape != (3, 3):
+            raise ValueError("inertia must be a 3x3 matrix")
+        if self.angle_kp <= 0 or self.rate_kp <= 0:
+            raise ValueError("controller gains must be positive")
+        self._rate_pids = [
+            PidController(
+                kp=self.rate_kp,
+                ki=self.rate_ki,
+                kd=self.rate_kd,
+                integral_limit=2.0,
+            )
+            for _ in range(3)
+        ]
+
+    def update(
+        self,
+        attitude_target_rad: np.ndarray,
+        attitude_rad: np.ndarray,
+        body_rates_rad_s: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        """One 200 Hz step: attitude error -> rate setpoints -> torques (N*m)."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        target = np.asarray(attitude_target_rad, dtype=float)
+        attitude = np.asarray(attitude_rad, dtype=float)
+        rates = np.asarray(body_rates_rad_s, dtype=float)
+        if target.shape != (3,) or attitude.shape != (3,) or rates.shape != (3,):
+            raise ValueError("attitude controller inputs must be 3-vectors")
+
+        angle_error = target - attitude
+        # Yaw error wraps around +-pi.
+        angle_error[2] = (angle_error[2] + np.pi) % (2.0 * np.pi) - np.pi
+        rate_setpoint = np.clip(
+            self.angle_kp * angle_error, -self.max_rate_rad_s, self.max_rate_rad_s
+        )
+        normalized_torque = np.array(
+            [
+                pid.update(float(sp), float(rate), dt)
+                for pid, sp, rate in zip(self._rate_pids, rate_setpoint, rates)
+            ]
+        )
+        self.updates += 1
+        # Scale by inertia so gains are airframe-size independent.
+        return self.inertia_kg_m2 @ normalized_torque
+
+    def reset(self) -> None:
+        for pid in self._rate_pids:
+            pid.reset()
+        self.updates = 0
+
+    @property
+    def flops_per_update(self) -> int:
+        """Angle P (9) + three rate PIDs (36) + inertia matvec (15)."""
+        return 9 + sum(p.flops_per_update for p in self._rate_pids) + 15

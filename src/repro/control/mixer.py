@@ -1,0 +1,70 @@
+"""Motor mixer: collective thrust + body torques -> four rotor thrusts.
+
+Inverts the X-configuration wrench map of
+:meth:`repro.physics.rigid_body.QuadcopterBody.wrench_from_motor_thrusts`;
+the low-level thrust controller (Table 2's 1 kHz loop) calls this every
+update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Must match the layout in repro.physics.rigid_body.
+_ROTOR_ANGLES = np.deg2rad([45.0, 225.0, 135.0, 315.0])
+_ROTOR_SPIN = np.array([1.0, 1.0, -1.0, -1.0])
+
+
+@dataclass
+class MotorMixer:
+    """Allocates a desired wrench across the four rotors."""
+
+    arm_length_m: float
+    torque_thrust_ratio_m: float = 0.016
+    max_thrust_per_motor_n: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.arm_length_m <= 0:
+            raise ValueError(f"arm length must be positive, got {self.arm_length_m}")
+        if self.torque_thrust_ratio_m <= 0:
+            raise ValueError("torque/thrust ratio must be positive")
+        if self.max_thrust_per_motor_n <= 0:
+            raise ValueError("max thrust must be positive")
+        arm_x = self.arm_length_m * np.cos(_ROTOR_ANGLES)
+        arm_y = self.arm_length_m * np.sin(_ROTOR_ANGLES)
+        # Rows: total thrust, roll torque, pitch torque, yaw torque.
+        mixing = np.vstack(
+            [
+                np.ones(4),
+                arm_y,
+                -arm_x,
+                _ROTOR_SPIN * self.torque_thrust_ratio_m,
+            ]
+        )
+        self._inverse = np.linalg.inv(mixing)
+
+    def mix(
+        self,
+        total_thrust_n: float,
+        torque_nm: np.ndarray,
+    ) -> np.ndarray:
+        """Per-motor thrusts (N) for a desired collective thrust and torque.
+
+        Commands are clipped to [0, max]; when saturated, collective thrust
+        is preserved preferentially over yaw torque, mirroring real mixers.
+        """
+        if total_thrust_n < 0:
+            raise ValueError(f"thrust cannot be negative, got {total_thrust_n}")
+        torque = np.asarray(torque_nm, dtype=float)
+        if torque.shape != (3,):
+            raise ValueError(f"torque must be a 3-vector, got shape {torque.shape}")
+        wrench = np.concatenate([[total_thrust_n], torque])
+        thrusts = self._inverse @ wrench
+        if np.any(thrusts < 0.0) or np.any(thrusts > self.max_thrust_per_motor_n):
+            # Shed yaw authority first, then rescale towards hover.
+            wrench_no_yaw = wrench.copy()
+            wrench_no_yaw[3] *= 0.25
+            thrusts = self._inverse @ wrench_no_yaw
+        return np.clip(thrusts, 0.0, self.max_thrust_per_motor_n)

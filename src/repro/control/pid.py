@@ -1,0 +1,71 @@
+"""Proportional-integral-derivative controller.
+
+The paper's inner loop "extensively uses high-performance hierarchical PID
+controllers" (Section 2.1.3-C).  This is a production-style discrete PID:
+derivative-on-measurement (no derivative kick), integral anti-windup by
+clamping, and optional output limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class PidController:
+    """Discrete PID with anti-windup and derivative-on-measurement."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limits: Optional[Tuple[float, float]] = None
+    integral_limit: Optional[float] = None
+    _integral: float = field(default=0.0, repr=False)
+    _last_measurement: Optional[float] = field(default=None, repr=False)
+    #: Count of update() calls — the perf studies use this to account work.
+    updates: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be non-negative")
+        if self.output_limits is not None:
+            low, high = self.output_limits
+            if low >= high:
+                raise ValueError(f"invalid output limits: ({low}, {high})")
+        if self.integral_limit is not None and self.integral_limit <= 0:
+            raise ValueError("integral limit must be positive")
+
+    def update(self, setpoint: float, measurement: float, dt: float) -> float:
+        """One control step; returns the actuation command."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        error = setpoint - measurement
+        self._integral += error * dt
+        if self.integral_limit is not None:
+            self._integral = max(
+                -self.integral_limit, min(self.integral_limit, self._integral)
+            )
+        if self._last_measurement is None:
+            derivative = 0.0
+        else:
+            # Derivative on measurement avoids spikes on setpoint changes.
+            derivative = -(measurement - self._last_measurement) / dt
+        self._last_measurement = measurement
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        if self.output_limits is not None:
+            low, high = self.output_limits
+            output = max(low, min(high, output))
+        self.updates += 1
+        return output
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_measurement = None
+        self.updates = 0
+
+    @property
+    def flops_per_update(self) -> int:
+        """Arithmetic operations per update — used by the inner-loop compute
+        budget analysis (Section 2.1.3-D)."""
+        return 12

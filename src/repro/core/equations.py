@@ -1,0 +1,355 @@
+"""The paper's design-space equations (Section 3.2, Equations 1-7).
+
+The procedure, quoted from the paper:
+
+    per each frame, choose the propeller with the maximum size, find the
+    required RPM for the motors, and choose the best matching motor depending
+    on the number of cells in the LiPo battery, while sweeping the range in
+    the capacity of the batteries [...] Then, from the maximum motor current
+    draw, we choose ESCs.  In this step, if the additional weights
+    necessitate a new motor, we redo the previous steps.
+
+That "redo the previous steps" is a fixed point: total weight depends on
+motor/ESC weight, which depends on max current, which depends on total
+weight.  :func:`close_weight` iterates it to convergence.
+
+Equation map:
+
+=========  ====================================================
+Eq. 1      :func:`close_weight`       (WeightTotal)
+Eq. 2      :func:`motor_max_current_a` (MotorCurrent)
+Eq. 3      :func:`average_power_w`     (PowerAvg)
+Eq. 4      :func:`usable_battery_energy_wh` (BattCapacity)
+Eq. 5      :func:`flight_time_min`     (FlightTime)
+Eq. 6      :func:`computation_power_share` (%PowerComputation)
+Eq. 7      :func:`gained_flight_time_min`  (+FlightTimeCompute)
+=========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.battery import battery_weight_g
+from repro.components.esc import EscClass, esc_set_weight_g
+from repro.components.frame import frame_weight_g
+from repro.components.propeller import propeller_set_weight_g
+from repro.physics import constants
+from repro.physics.motor import motor_mass_g_for, required_kv_for
+from repro.physics.propeller import (
+    hover_electrical_power_w,
+    max_propeller_inch_for_wheelbase,
+    typical_propeller_for,
+)
+
+#: A motor above this Kv cannot realistically be built/bought — the
+#: "Extremely High Kv Motor requirements" exclusion region of Figure 10a.
+#: Figure 9a tops out at 51000 Kv for 1" propellers and 25000 Kv for 2";
+#: anything above ~32000 Kv has no catalog product behind it.
+MAX_FEASIBLE_KV = 26_000.0
+
+#: Per-ESC continuous current above this has no catalog products (Fig 8a axis).
+MAX_FEASIBLE_ESC_CURRENT_A = 95.0
+
+#: Highest discharge rating with real products behind it (Fig 7's scatter
+#: tops out around 120C; 150 allows exotic racing packs).
+MAX_FEASIBLE_C_RATING = 150.0
+
+
+def required_c_rating(
+    capacity_mah: float,
+    total_motor_current_a: float,
+    safety_factor: float = 1.2,
+) -> float:
+    """Minimum battery C rating to feed the motors at full throttle.
+
+    Table 3: the C rating bounds continuous current as I = Capacity(Ah) x C.
+    Small packs feeding hungry motors need disproportionately high ratings —
+    one of the couplings that rules out tiny batteries on big drones.
+    """
+    if capacity_mah <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_mah}")
+    if total_motor_current_a < 0:
+        raise ValueError("motor current cannot be negative")
+    if safety_factor < 1.0:
+        raise ValueError(f"safety factor must be >= 1, got {safety_factor}")
+    return total_motor_current_a * safety_factor / (capacity_mah / 1000.0)
+
+
+class InfeasibleDesignError(ValueError):
+    """Raised when no physically buildable component closes the design."""
+
+
+@dataclass(frozen=True)
+class WeightBreakdown:
+    """Converged Equation 1 output: every term of WeightTotal, in grams."""
+
+    frame_g: float
+    battery_g: float
+    motors_g: float
+    escs_g: float
+    propellers_g: float
+    compute_g: float
+    sensors_g: float
+    payload_g: float
+    wires_g: float
+
+    @property
+    def total_g(self) -> float:
+        return (
+            self.frame_g
+            + self.battery_g
+            + self.motors_g
+            + self.escs_g
+            + self.propellers_g
+            + self.compute_g
+            + self.sensors_g
+            + self.payload_g
+            + self.wires_g
+        )
+
+    @property
+    def basic_weight_g(self) -> float:
+        """Figure 9's x-axis: weight *excluding* battery, ESCs, and motors."""
+        return self.total_g - self.battery_g - self.escs_g - self.motors_g
+
+    def as_dict(self) -> dict:
+        return {
+            "frame": self.frame_g,
+            "battery": self.battery_g,
+            "motors": self.motors_g,
+            "escs": self.escs_g,
+            "propellers": self.propellers_g,
+            "compute": self.compute_g,
+            "sensors": self.sensors_g,
+            "payload": self.payload_g,
+            "wires": self.wires_g,
+        }
+
+
+def motor_max_current_a(
+    total_weight_g: float,
+    propeller_inch: float,
+    battery_voltage_v: float,
+    twr: float = constants.MIN_FLYABLE_TWR,
+) -> float:
+    """Equation 2: minimum required max current draw per motor (A).
+
+    Momentum-theory electrical power at the TWR-mandated maximum thrust,
+    using the degraded full-throttle efficiency (see
+    :data:`repro.physics.constants.FULL_THROTTLE_OVERALL_EFFICIENCY`).
+    """
+    if total_weight_g <= 0:
+        raise ValueError(f"weight must be positive, got {total_weight_g}")
+    if battery_voltage_v <= 0:
+        raise ValueError(f"voltage must be positive, got {battery_voltage_v}")
+    max_thrust_per_motor_g = twr * total_weight_g / 4.0
+    power_w = hover_electrical_power_w(
+        constants.grams_to_newtons(max_thrust_per_motor_g),
+        propeller_inch,
+        figure_of_merit=constants.FULL_THROTTLE_OVERALL_EFFICIENCY,
+        drive_efficiency=1.0,
+    )
+    return power_w / battery_voltage_v
+
+
+def close_weight(
+    wheelbase_mm: float,
+    battery_cells: int,
+    battery_capacity_mah: float,
+    compute_weight_g: float = 20.0,
+    sensors_weight_g: float = 0.0,
+    payload_g: float = 0.0,
+    avionics_weight_g: float = 80.0,
+    twr: float = constants.MIN_FLYABLE_TWR,
+    esc_class: EscClass = EscClass.LONG_FLIGHT,
+    max_iterations: int = 60,
+    tolerance_g: float = 0.01,
+) -> WeightBreakdown:
+    """Equation 1: iterate component selection until total weight converges.
+
+    ``avionics_weight_g`` lumps GPS, RC receiver, telemetry, power module,
+    and PPM encoder — about 80 g in the paper's own build (Figure 14).
+
+    Raises :class:`InfeasibleDesignError` when the converged design would
+    need an impossible motor (Kv beyond catalog) or ESC.
+    """
+    if max_iterations <= 0:
+        raise ValueError("max_iterations must be positive")
+    propeller_inch = max_propeller_inch_for_wheelbase(wheelbase_mm)
+    propeller = typical_propeller_for(propeller_inch)
+    voltage = battery_cells * constants.LIPO_CELL_NOMINAL_V
+
+    frame_g = frame_weight_g(wheelbase_mm)
+    battery_g = battery_weight_g(battery_cells, battery_capacity_mah)
+    propellers_g = propeller_set_weight_g(propeller_inch)
+    fixed_g = (
+        frame_g
+        + battery_g
+        + propellers_g
+        + compute_weight_g
+        + sensors_weight_g
+        + payload_g
+        + avionics_weight_g
+    )
+
+    total_g = fixed_g * 1.3  # initial guess: motors/ESCs add roughly 30%
+    motors_g = escs_g = wires_g = 0.0
+    for _ in range(max_iterations):
+        if total_g > 50_000.0:
+            # The fixed point is diverging: every added gram of motor/ESC
+            # demands more motor/ESC — no buildable drone exists here.
+            raise InfeasibleDesignError(
+                f"weight closure diverges for wheelbase={wheelbase_mm}, "
+                f"{battery_cells}S {battery_capacity_mah} mAh "
+                f"(propulsion cannot keep up with its own weight)"
+            )
+        thrust_per_motor_g = twr * total_g / 4.0
+        kv = required_kv_for(propeller, thrust_per_motor_g, voltage)
+        motors_g = 4.0 * motor_mass_g_for(kv, thrust_per_motor_g)
+        per_motor_current = motor_max_current_a(
+            total_g, propeller_inch, voltage, twr
+        )
+        escs_g = esc_set_weight_g(
+            max(per_motor_current, 1.0), esc_class
+        )
+        wires_g = constants.WIRING_WEIGHT_FRACTION * (
+            motors_g + escs_g + battery_g
+        )
+        new_total = fixed_g + motors_g + escs_g + wires_g
+        if abs(new_total - total_g) < tolerance_g:
+            total_g = new_total
+            break
+        total_g = new_total
+    else:
+        raise InfeasibleDesignError(
+            f"weight closure did not converge for wheelbase={wheelbase_mm}, "
+            f"{battery_cells}S {battery_capacity_mah} mAh"
+        )
+
+    thrust_per_motor_g = twr * total_g / 4.0
+    kv = required_kv_for(propeller, thrust_per_motor_g, voltage)
+    if kv > MAX_FEASIBLE_KV:
+        raise InfeasibleDesignError(
+            f"requires a {kv:.0f} Kv motor (limit {MAX_FEASIBLE_KV:.0f}); "
+            f"increase cell count or propeller size"
+        )
+    per_motor_current = motor_max_current_a(total_g, propeller_inch, voltage, twr)
+    if per_motor_current > MAX_FEASIBLE_ESC_CURRENT_A:
+        raise InfeasibleDesignError(
+            f"requires {per_motor_current:.0f} A ESCs "
+            f"(catalog limit {MAX_FEASIBLE_ESC_CURRENT_A:.0f} A)"
+        )
+    needed_c = required_c_rating(battery_capacity_mah, 4.0 * per_motor_current)
+    if needed_c > MAX_FEASIBLE_C_RATING:
+        raise InfeasibleDesignError(
+            f"requires a {needed_c:.0f}C battery "
+            f"(catalog limit {MAX_FEASIBLE_C_RATING:.0f}C); "
+            f"increase capacity or reduce weight"
+        )
+    return WeightBreakdown(
+        frame_g=frame_g,
+        battery_g=battery_g,
+        motors_g=motors_g,
+        escs_g=escs_g,
+        propellers_g=propellers_g,
+        compute_g=compute_weight_g,
+        sensors_g=sensors_weight_g,
+        payload_g=payload_g,
+        wires_g=wires_g,
+    )
+
+
+def average_power_w(
+    motor_max_current_a_value: float,
+    battery_voltage_v: float,
+    flying_load: float = constants.DEFAULT_HOVER_LOAD,
+    compute_power_w: float = 0.0,
+    sensors_power_w: float = 0.0,
+) -> float:
+    """Equation 3: PowerAvg = 4 x I_max x load x V + compute + sensors."""
+    if motor_max_current_a_value <= 0:
+        raise ValueError("motor max current must be positive")
+    if battery_voltage_v <= 0:
+        raise ValueError("battery voltage must be positive")
+    if not 0.0 < flying_load <= 1.0:
+        raise ValueError(f"flying load must be in (0, 1], got {flying_load}")
+    if compute_power_w < 0 or sensors_power_w < 0:
+        raise ValueError("compute/sensor power cannot be negative")
+    propulsion_w = 4.0 * motor_max_current_a_value * flying_load * battery_voltage_v
+    return propulsion_w + compute_power_w + sensors_power_w
+
+
+def usable_battery_energy_wh(
+    capacity_mah: float,
+    battery_cells: int,
+    power_efficiency: float = 1.0,
+    drain_limit: float = constants.LIPO_DRAIN_LIMIT,
+) -> float:
+    """Equation 4: usable stored energy after the drain limit and delivery loss."""
+    if capacity_mah <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_mah}")
+    if battery_cells <= 0:
+        raise ValueError(f"cells must be positive, got {battery_cells}")
+    if not 0.0 < power_efficiency <= 1.0:
+        raise ValueError(f"power efficiency must be in (0, 1], got {power_efficiency}")
+    if not 0.0 < drain_limit <= 1.0:
+        raise ValueError(f"drain limit must be in (0, 1], got {drain_limit}")
+    voltage = battery_cells * constants.LIPO_CELL_NOMINAL_V
+    return capacity_mah / 1000.0 * voltage * drain_limit * power_efficiency
+
+
+def flight_time_min(usable_energy_wh: float, average_power: float) -> float:
+    """Equation 5: flight time (minutes)."""
+    if usable_energy_wh < 0:
+        raise ValueError("usable energy cannot be negative")
+    if average_power <= 0:
+        raise ValueError(f"average power must be positive, got {average_power}")
+    return usable_energy_wh / average_power * 60.0
+
+
+def computation_power_share(total_power_w: float, compute_power_w: float) -> float:
+    """Equation 6: fraction of total power going to computation."""
+    if total_power_w <= 0:
+        raise ValueError(f"total power must be positive, got {total_power_w}")
+    if compute_power_w < 0:
+        raise ValueError("compute power cannot be negative")
+    if compute_power_w > total_power_w:
+        raise ValueError("compute power cannot exceed total power")
+    return compute_power_w / total_power_w
+
+
+def gained_flight_time_min(
+    computation_share: float, flight_time_minutes: float
+) -> float:
+    """Equation 7: flight time recovered by eliminating the compute power.
+
+    If computation is fraction ``s`` of total power, removing it stretches
+    the same energy over (1 - s) of the power: gain = t * s / (1 - s).
+    """
+    if not 0.0 <= computation_share < 1.0:
+        raise ValueError(f"share must be in [0, 1), got {computation_share}")
+    if flight_time_minutes < 0:
+        raise ValueError("flight time cannot be negative")
+    return flight_time_minutes * computation_share / (1.0 - computation_share)
+
+
+def flight_time_delta_for_power_change_min(
+    power_delta_w: float,
+    total_power_w: float,
+    flight_time_minutes: float,
+) -> float:
+    """Flight time gained (+) or lost (-) when total power changes by ``delta``.
+
+    The Section 5.2 arithmetic (e.g. 'saving 10 W by moving from TX2 to FPGA
+    gives +1 minute: ~10/140 x 15 min'): new time = E / (P + delta), so
+    delta_t = t * (-delta) / (P + delta).
+    """
+    if total_power_w <= 0:
+        raise ValueError(f"total power must be positive, got {total_power_w}")
+    if flight_time_minutes < 0:
+        raise ValueError("flight time cannot be negative")
+    new_power = total_power_w + power_delta_w
+    if new_power <= 0:
+        raise ValueError("power change would make total power non-positive")
+    return flight_time_minutes * (-power_delta_w) / new_power

@@ -1,0 +1,171 @@
+"""Re-derivation of the paper's component tradeoff fits (Figures 7, 8a, 8b, 9).
+
+The paper extracts regression lines from its commercial-component census;
+we regenerate the census synthetically (:mod:`repro.components.catalog`) and
+re-fit here.  Recovered coefficients should match the paper's published
+lines to within the injected manufacturer scatter — that agreement is
+asserted by the test suite and reported by the Figure 7/8 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.components.base import LinearFit, linear_fit
+from repro.components.battery import FIG7_WEIGHT_FITS, BatterySpec
+from repro.components.catalog import ComponentCatalog
+from repro.components.esc import FIG8A_WEIGHT_FITS, EscClass, EscSpec
+from repro.components.frame import FrameSpec, SMALL_FRAME_LIMIT_MM
+from repro.core.equations import motor_max_current_a
+from repro.physics import constants
+from repro.physics.motor import required_kv_for
+from repro.physics.propeller import (
+    max_propeller_inch_for_wheelbase,
+    typical_propeller_for,
+)
+
+
+def fit_battery_weight(batteries: Sequence[BatterySpec]) -> Dict[int, LinearFit]:
+    """Figure 7: per-cell-count capacity-to-weight lines from a battery census."""
+    grouped: Dict[int, List[BatterySpec]] = {}
+    for battery in batteries:
+        grouped.setdefault(battery.cells, []).append(battery)
+    fits = {}
+    for cells, group in sorted(grouped.items()):
+        if len(group) < 2:
+            continue
+        fits[cells] = linear_fit(
+            (b.capacity_mah for b in group), (b.weight_g for b in group)
+        )
+    return fits
+
+
+def fit_esc_weight(escs: Sequence[EscSpec]) -> Dict[EscClass, LinearFit]:
+    """Figure 8a: per-class current-to-weight lines (weight of 4x ESCs)."""
+    grouped: Dict[EscClass, List[EscSpec]] = {}
+    for esc in escs:
+        grouped.setdefault(esc.esc_class, []).append(esc)
+    fits = {}
+    for esc_class, group in grouped.items():
+        if len(group) < 2:
+            continue
+        fits[esc_class] = linear_fit(
+            (e.max_continuous_current_a for e in group),
+            (4.0 * e.weight_g for e in group),
+        )
+    return fits
+
+
+def fit_frame_weight(frames: Sequence[FrameSpec]) -> LinearFit:
+    """Figure 8b: wheelbase-to-weight line for frames above 200 mm."""
+    large = [f for f in frames if f.wheelbase_mm > SMALL_FRAME_LIMIT_MM]
+    if len(large) < 2:
+        raise ValueError("need at least two large frames to fit the Fig 8b line")
+    return linear_fit((f.wheelbase_mm for f in large), (f.weight_g for f in large))
+
+
+@dataclass(frozen=True)
+class FitComparison:
+    """A recovered fit next to the paper's published line."""
+
+    label: str
+    recovered: LinearFit
+    published: LinearFit
+
+    @property
+    def slope_error(self) -> float:
+        """Relative slope error of the recovered fit."""
+        if self.published.slope == 0:
+            raise ValueError("published slope is zero; relative error undefined")
+        return abs(self.recovered.slope - self.published.slope) / abs(
+            self.published.slope
+        )
+
+
+def compare_battery_fits(catalog: ComponentCatalog) -> List[FitComparison]:
+    """Recovered-vs-published Figure 7 lines for every cell configuration."""
+    recovered = fit_battery_weight(catalog.batteries)
+    comparisons = []
+    for cells, fit in sorted(recovered.items()):
+        comparisons.append(
+            FitComparison(
+                label=f"{cells}S1P",
+                recovered=fit,
+                published=FIG7_WEIGHT_FITS[cells],
+            )
+        )
+    return comparisons
+
+
+def compare_esc_fits(catalog: ComponentCatalog) -> List[FitComparison]:
+    """Recovered-vs-published Figure 8a lines for both ESC classes."""
+    recovered = fit_esc_weight(catalog.escs)
+    return [
+        FitComparison(
+            label=esc_class.value,
+            recovered=fit,
+            published=FIG8A_WEIGHT_FITS[esc_class],
+        )
+        for esc_class, fit in recovered.items()
+    ]
+
+
+@dataclass(frozen=True)
+class MotorCurrentCurve:
+    """One Figure 9 series: per-motor max current vs basic weight."""
+
+    wheelbase_mm: float
+    cells: int
+    propeller_inch: float
+    basic_weights_g: np.ndarray
+    currents_a: np.ndarray
+    kv_at_max_weight: float
+
+
+def motor_current_curves(
+    wheelbase_mm: float,
+    cell_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    basic_weights_g: Sequence[float] = None,
+    twr: float = constants.MIN_FLYABLE_TWR,
+    basic_to_total_ratio: float = 1.45,
+) -> List[MotorCurrentCurve]:
+    """Figure 9: minimum required per-motor max current draw vs basic weight.
+
+    Basic weight excludes battery, ESCs, and motors; the paper's curves use
+    the corresponding total weight through the TWR.  ``basic_to_total_ratio``
+    converts basic to total weight (battery + ESCs + motors add ~45%).
+    """
+    if basic_weights_g is None:
+        basic_weights_g = np.arange(100.0, 2701.0, 100.0)
+    basic = np.asarray(list(basic_weights_g), dtype=float)
+    if np.any(basic <= 0):
+        raise ValueError("basic weights must be positive")
+    propeller_inch = max_propeller_inch_for_wheelbase(wheelbase_mm)
+    propeller = typical_propeller_for(propeller_inch)
+    curves = []
+    for cells in cell_counts:
+        voltage = cells * constants.LIPO_CELL_NOMINAL_V
+        totals = basic * basic_to_total_ratio
+        currents = np.array(
+            [
+                motor_max_current_a(total, propeller_inch, voltage, twr)
+                for total in totals
+            ]
+        )
+        kv = required_kv_for(
+            propeller, twr * float(totals[-1]) / 4.0, voltage
+        )
+        curves.append(
+            MotorCurrentCurve(
+                wheelbase_mm=wheelbase_mm,
+                cells=cells,
+                propeller_inch=propeller_inch,
+                basic_weights_g=basic,
+                currents_a=currents,
+                kv_at_max_weight=kv,
+            )
+        )
+    return curves

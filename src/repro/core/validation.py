@@ -1,0 +1,136 @@
+"""Model validation against commercial drones (Figure 10 diamonds, Figure 11).
+
+The paper validates the power model by plotting commercial drones' implied
+average power (from released battery configuration and flight time) on the
+same axes as the swept curves; it also builds Figure 11's small-drone study
+(hover/maneuver power, heavy-compute contribution, flight time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.components.commercial import (
+    COMMERCIAL_DRONES,
+    FIGURE11_DRONES,
+    CommercialDrone,
+    drones_by_name,
+)
+from repro.core.design import DroneDesign
+from repro.core.equations import InfeasibleDesignError
+
+#: Heavy-computation power for Figure 11's yellow line: the measured extra
+#: power of running SLAM-class workloads on an RPi-class board (Section 5.1,
+#: autopilot 3.39 W -> flying with SLAM 4.56 W, peaks 5 W; plus HD video).
+HEAVY_COMPUTE_POWER_W = 4.56
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Model prediction beside a commercial drone's implied numbers."""
+
+    drone: CommercialDrone
+    model_hover_power_w: Optional[float]
+    implied_average_power_w: float
+    model_flight_time_min: Optional[float]
+    released_flight_time_min: float
+
+    @property
+    def power_ratio(self) -> Optional[float]:
+        """Model-to-implied power ratio; 1.0 is perfect validation."""
+        if self.model_hover_power_w is None:
+            return None
+        return self.model_hover_power_w / self.implied_average_power_w
+
+
+def validate_against_commercial(
+    drones: Optional[List[CommercialDrone]] = None,
+) -> List[ValidationPoint]:
+    """Evaluate the Equations 1-7 model at each commercial drone's configuration.
+
+    The model is fed only the drone's released wheelbase, battery cells, and
+    capacity; its predicted hover power and flight time are compared with
+    the numbers implied by the released specs.
+    """
+    if drones is None:
+        drones = list(COMMERCIAL_DRONES)
+    points = []
+    for drone in drones:
+        design = DroneDesign(
+            wheelbase_mm=drone.wheelbase_mm,
+            battery_cells=drone.battery_cells,
+            battery_capacity_mah=drone.battery_mah,
+            compute_power_w=2.0,
+            compute_weight_g=20.0,
+            sensors_power_w=1.0,
+            avionics_weight_g=min(80.0, 0.1 * drone.weight_g),
+        )
+        try:
+            evaluation = design.evaluate()
+            model_power = evaluation.hover_power_w
+            model_time = evaluation.flight_time_min
+        except InfeasibleDesignError:
+            model_power = None
+            model_time = None
+        points.append(
+            ValidationPoint(
+                drone=drone,
+                model_hover_power_w=model_power,
+                implied_average_power_w=drone.average_flight_power_w,
+                model_flight_time_min=model_time,
+                released_flight_time_min=drone.flight_time_min,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class Figure11Row:
+    """One bar group of Figure 11."""
+
+    name: str
+    hovering_power_w: float
+    maneuvering_power_w: float
+    heavy_compute_share_hovering: float
+    flight_time_min: float
+
+
+def figure11_small_drone_study(
+    heavy_compute_power_w: float = HEAVY_COMPUTE_POWER_W,
+) -> List[Figure11Row]:
+    """Figure 11: commercial small drones' power and heavy-compute share.
+
+    The paper's finding: baseline compute while hovering is 2-7% of total
+    power, but heavy computation (face recognition, HD recording, SLAM)
+    pushes the contribution to 10-20% on small drones.
+    """
+    if heavy_compute_power_w < 0:
+        raise ValueError("heavy compute power cannot be negative")
+    catalog = drones_by_name()
+    rows = []
+    for name in FIGURE11_DRONES:
+        drone = catalog[name]
+        rows.append(
+            Figure11Row(
+                name=name,
+                hovering_power_w=drone.hover_power_w(),
+                maneuvering_power_w=drone.maneuver_power_w(),
+                heavy_compute_share_hovering=drone.heavy_compute_share_hovering(
+                    heavy_compute_power_w
+                ),
+                flight_time_min=drone.flight_time_min,
+            )
+        )
+    return rows
+
+
+def baseline_compute_share_range(
+    baseline_compute_w: float = 1.0,
+) -> tuple:
+    """The 2-7% hover-compute band the paper reports for small drones."""
+    shares = [
+        drones_by_name()[name].heavy_compute_share_hovering(baseline_compute_w)
+        for name in FIGURE11_DRONES
+    ]
+    return (min(shares), max(shares))

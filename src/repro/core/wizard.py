@@ -1,0 +1,223 @@
+"""The Figure 12 procedure as a guided API.
+
+Figure 12 describes how a practitioner should use the paper's data: start
+from a small frame, add sensors/compute/payload, estimate lift power at
+TWR=2, select a battery, compute flight time, and quantify the benefit of
+optimizing a target application.  :class:`DesignWizard` walks those steps
+and records the trail, so the output is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.components.compute import ComputeBoard
+from repro.components.sensors import SensorProduct
+from repro.core.design import DesignEvaluation, DroneDesign
+from repro.core.equations import (
+    InfeasibleDesignError,
+    flight_time_delta_for_power_change_min,
+)
+from repro.physics import constants
+
+
+@dataclass(frozen=True)
+class WizardStep:
+    """One recorded step of the Figure 12 procedure."""
+
+    title: str
+    detail: str
+
+
+@dataclass
+class OptimizationOutcome:
+    """Quantified benefit of a compute-power optimization (Fig 12 bottom)."""
+
+    power_saved_w: float
+    weight_delta_g: float
+    gained_flight_time_min: float
+    new_flight_time_min: float
+
+
+class DesignWizard:
+    """Walks the Figure 12 quantification procedure step by step.
+
+    >>> wizard = DesignWizard(wheelbase_mm=450)
+    >>> wizard.add_compute(power_w=5.0, weight_g=50.0)
+    >>> evaluation = wizard.select_battery(cells=3, capacity_mah=3000)
+    >>> outcome = wizard.quantify_optimization(power_saved_w=4.0)
+    >>> outcome.gained_flight_time_min > 0
+    True
+    """
+
+    def __init__(self, wheelbase_mm: float, twr: float = constants.MIN_FLYABLE_TWR):
+        if wheelbase_mm <= 0:
+            raise ValueError(f"wheelbase must be positive, got {wheelbase_mm}")
+        self.wheelbase_mm = wheelbase_mm
+        self.twr = twr
+        self.compute_power_w = 3.0
+        self.compute_weight_g = 20.0
+        self.sensors_power_w = 0.0
+        self.sensors_weight_g = 0.0
+        self.payload_g = 0.0
+        self.steps: List[WizardStep] = [
+            WizardStep(
+                "Start with a frame",
+                f"wheelbase {wheelbase_mm:.0f} mm; drone weight will be ~4x "
+                f"the frame weight (Fig 9 guidance)",
+            )
+        ]
+        self._evaluation: Optional[DesignEvaluation] = None
+        self._design: Optional[DroneDesign] = None
+
+    def add_compute(self, power_w: float, weight_g: float) -> None:
+        """Does the drone need extra compute? (Table 4)"""
+        if power_w <= 0 or weight_g < 0:
+            raise ValueError("compute power must be positive, weight non-negative")
+        self.compute_power_w = power_w
+        self.compute_weight_g = weight_g
+        self.steps.append(
+            WizardStep("Add compute", f"{power_w:.1f} W, {weight_g:.0f} g")
+        )
+
+    def add_board(self, board: ComputeBoard) -> None:
+        """Pick a concrete Table 4 board instead of raw power/weight numbers."""
+        self.add_compute(board.power_w, board.weight_g)
+        self.steps[-1] = WizardStep(
+            "Add compute board", f"{board.manufacturer} {board.name}"
+        )
+
+    def add_sensor(self, sensor: SensorProduct) -> None:
+        """Does the drone need extra sensors? (Table 4)"""
+        self.sensors_power_w += sensor.bus_power_w
+        self.sensors_weight_g += sensor.weight_g
+        self.steps.append(
+            WizardStep(
+                "Add sensor",
+                f"{sensor.name}: {sensor.weight_g:.0f} g, "
+                f"{sensor.bus_power_w:.1f} W from the drone battery",
+            )
+        )
+
+    def add_payload(self, weight_g: float) -> None:
+        """Does the drone need extra payload?"""
+        if weight_g < 0:
+            raise ValueError(f"payload cannot be negative, got {weight_g}")
+        self.payload_g += weight_g
+        self.steps.append(WizardStep("Add payload", f"{weight_g:.0f} g"))
+
+    def select_battery(self, cells: int, capacity_mah: float) -> DesignEvaluation:
+        """Select a battery and close the design (weight, power, flight time)."""
+        design = DroneDesign(
+            wheelbase_mm=self.wheelbase_mm,
+            battery_cells=cells,
+            battery_capacity_mah=capacity_mah,
+            compute_power_w=self.compute_power_w,
+            compute_weight_g=self.compute_weight_g,
+            sensors_power_w=self.sensors_power_w,
+            sensors_weight_g=self.sensors_weight_g,
+            payload_g=self.payload_g,
+            twr=self.twr,
+        )
+        evaluation = design.evaluate()
+        self._design = design
+        self._evaluation = evaluation
+        self.steps.append(
+            WizardStep(
+                "Select battery & close weight",
+                f"{cells}S {capacity_mah:.0f} mAh -> "
+                f"{evaluation.total_weight_g:.0f} g total, "
+                f"hover {evaluation.hover_power_w:.1f} W, "
+                f"{evaluation.flight_time_min:.1f} min",
+            )
+        )
+        return evaluation
+
+    def suggest_battery(
+        self,
+        cells_options=(1, 2, 3, 4, 5, 6),
+        capacities_mah=(1000, 2000, 3000, 4000, 5000, 6000, 8000),
+    ) -> DesignEvaluation:
+        """Pick the battery maximizing flight time over a coarse grid."""
+        best: Optional[DesignEvaluation] = None
+        best_config = None
+        for cells in cells_options:
+            for capacity in capacities_mah:
+                try:
+                    design = DroneDesign(
+                        wheelbase_mm=self.wheelbase_mm,
+                        battery_cells=cells,
+                        battery_capacity_mah=float(capacity),
+                        compute_power_w=self.compute_power_w,
+                        compute_weight_g=self.compute_weight_g,
+                        sensors_power_w=self.sensors_power_w,
+                        sensors_weight_g=self.sensors_weight_g,
+                        payload_g=self.payload_g,
+                        twr=self.twr,
+                    )
+                    evaluation = design.evaluate()
+                except InfeasibleDesignError:
+                    continue
+                if best is None or evaluation.flight_time_min > best.flight_time_min:
+                    best = evaluation
+                    best_config = (cells, capacity)
+        if best is None:
+            raise InfeasibleDesignError(
+                f"no feasible battery found for wheelbase {self.wheelbase_mm} mm"
+            )
+        return self.select_battery(best_config[0], float(best_config[1]))
+
+    @property
+    def evaluation(self) -> DesignEvaluation:
+        if self._evaluation is None:
+            raise RuntimeError("call select_battery()/suggest_battery() first")
+        return self._evaluation
+
+    def quantify_optimization(
+        self, power_saved_w: float, weight_delta_g: float = 0.0
+    ) -> OptimizationOutcome:
+        """Quantify a compute optimization's effect on flight time (Fig 12).
+
+        ``power_saved_w`` is positive for savings; ``weight_delta_g`` is the
+        added accelerator weight (positive) or removed weight (negative).
+        The weight change is folded back through the weight closure, since
+        heavier drones draw more propulsion power (the TX2 effect of
+        Table 5).
+        """
+        baseline = self.evaluation
+        if self._design is None:
+            raise RuntimeError("call select_battery()/suggest_battery() first")
+        modified = DroneDesign(
+            wheelbase_mm=self.wheelbase_mm,
+            battery_cells=self._design.battery_cells,
+            battery_capacity_mah=self._design.battery_capacity_mah,
+            compute_power_w=max(0.001, self.compute_power_w - power_saved_w),
+            compute_weight_g=max(0.0, self.compute_weight_g + weight_delta_g),
+            sensors_power_w=self.sensors_power_w,
+            sensors_weight_g=self.sensors_weight_g,
+            payload_g=self.payload_g,
+            twr=self.twr,
+        )
+        new_evaluation = modified.evaluate()
+        gained = new_evaluation.flight_time_min - baseline.flight_time_min
+        self.steps.append(
+            WizardStep(
+                "Quantify optimization",
+                f"saving {power_saved_w:.2f} W ({weight_delta_g:+.0f} g) -> "
+                f"{gained:+.2f} min flight time",
+            )
+        )
+        return OptimizationOutcome(
+            power_saved_w=power_saved_w,
+            weight_delta_g=weight_delta_g,
+            gained_flight_time_min=gained,
+            new_flight_time_min=new_evaluation.flight_time_min,
+        )
+
+    def report(self) -> str:
+        """The recorded procedure as a printable trail."""
+        lines = [f"Design procedure for {self.wheelbase_mm:.0f} mm drone:"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index}. {step.title}: {step.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Physical constants and canonical drone-domain parameters.
+
+The values here are the single source of truth for the whole library.
+Domain constants (LiPo cell voltage, drain limit, flying-load bands,
+figure of merit) come straight from the paper's text (Sections 2.1.2,
+3.1, 3.2) so that every downstream model shares the paper's assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Universal physics -----------------------------------------------------
+
+GRAVITY_M_S2 = 9.80665
+"""Standard gravitational acceleration (m/s^2)."""
+
+AIR_DENSITY_SEA_LEVEL_KG_M3 = 1.225
+"""ISA sea-level air density (kg/m^3)."""
+
+AIR_GAS_CONSTANT_J_KG_K = 287.058
+"""Specific gas constant of dry air (J/(kg*K))."""
+
+SEA_LEVEL_PRESSURE_PA = 101_325.0
+"""ISA sea-level static pressure (Pa)."""
+
+SEA_LEVEL_TEMPERATURE_K = 288.15
+"""ISA sea-level temperature (K)."""
+
+TEMPERATURE_LAPSE_RATE_K_M = 0.0065
+"""ISA tropospheric temperature lapse rate (K/m)."""
+
+# --- LiPo battery (paper Section 2.1.2) -------------------------------------
+
+LIPO_CELL_NOMINAL_V = 3.7
+"""Nominal voltage of a single LiPo cell (V); packs are multiples of this."""
+
+LIPO_CELL_FULL_V = 4.2
+"""Fully charged LiPo cell voltage (V)."""
+
+LIPO_CELL_EMPTY_V = 3.3
+"""Safe cut-off voltage of a LiPo cell under load (V)."""
+
+LIPO_DRAIN_LIMIT = 0.85
+"""Fraction of capacity safely usable in flight (paper: 'only 85%')."""
+
+# --- Operating points (paper Section 3.2) ------------------------------------
+
+HOVER_LOAD_FRACTION = (0.20, 0.30)
+"""Low-load hover band: fraction of max motor current draw while hovering."""
+
+MANEUVER_LOAD_FRACTION = (0.60, 0.70)
+"""Maneuvering band: fraction of max motor current draw while maneuvering."""
+
+DEFAULT_HOVER_LOAD = 0.25
+"""Midpoint of the hover band, used when a single number is required."""
+
+DEFAULT_MANEUVER_LOAD = 0.65
+"""Midpoint of the maneuver band, used when a single number is required."""
+
+MIN_FLYABLE_TWR = 2.0
+"""Minimum thrust-to-weight ratio the paper uses for efficient designs."""
+
+MAX_AEROBATIC_TWR = 7.0
+"""Upper end of common TWR ratios (Table 3)."""
+
+# --- Propulsion efficiency chain ---------------------------------------------
+
+PROPELLER_FIGURE_OF_MERIT = 0.62
+"""Hover figure of merit of small-UAV propellers (ideal power / real power)."""
+
+MOTOR_ESC_EFFICIENCY = 0.80
+"""Combined electrical efficiency of a BLDC motor plus its ESC near hover."""
+
+HOVER_OVERALL_EFFICIENCY = PROPELLER_FIGURE_OF_MERIT * MOTOR_ESC_EFFICIENCY
+"""Thrust-chain efficiency near hover (~0.50); validated against the average
+power implied by commercial drones' released flight times (e.g. DJI
+Phantom 4: model 141 W vs 144 W implied)."""
+
+FULL_THROTTLE_OVERALL_EFFICIENCY = 0.354
+"""Thrust-chain efficiency at maximum throttle.  Motors and propellers are
+markedly less efficient at their limit; this value makes momentum-theory
+hover power land at 25% of the maximum current draw — the midpoint of the
+paper's 20-30% hovering FlyingLoad band, i.e. the two paper assumptions
+(TWR = 2 and hover load 20-30%) become mutually consistent."""
+
+ESC_SWITCHING_FREQUENCY_HZ = (60e3, 600e3)
+"""ESC MOSFET switching-frequency range from the paper (Hz)."""
+
+# --- Control timing (paper Table 2) ------------------------------------------
+
+THRUST_LOOP_HZ = 1000.0
+"""Low-level thrust controller update frequency (Hz)."""
+
+ATTITUDE_LOOP_HZ = 200.0
+"""Mid-level attitude controller update frequency (Hz)."""
+
+POSITION_LOOP_HZ = 40.0
+"""High-level position/trajectory controller update frequency (Hz)."""
+
+THRUST_RESPONSE_S = 0.050
+"""Thrust controller response time (s)."""
+
+ATTITUDE_RESPONSE_S = 0.100
+"""Attitude controller response time (s)."""
+
+POSITION_RESPONSE_S = 1.0
+"""Position controller response time (s)."""
+
+INNER_LOOP_HZ_RANGE = (50.0, 500.0)
+"""Physically useful inner-loop update frequency range (Hz)."""
+
+# --- Misc airframe heuristics -------------------------------------------------
+
+INCH_TO_M = 0.0254
+WIRING_WEIGHT_FRACTION = 0.03
+"""Wires/connectors weight as a fraction of electromechanical weight."""
+
+
+def propeller_disk_area_m2(diameter_inch: float) -> float:
+    """Return the actuator-disk area (m^2) of a propeller given its diameter.
+
+    >>> round(propeller_disk_area_m2(10.0), 4)
+    0.0507
+    """
+    if diameter_inch <= 0:
+        raise ValueError(f"propeller diameter must be positive, got {diameter_inch}")
+    radius_m = diameter_inch * INCH_TO_M / 2.0
+    return math.pi * radius_m * radius_m
+
+
+def air_density_kg_m3(altitude_m: float = 0.0, temperature_offset_k: float = 0.0) -> float:
+    """ISA air density at ``altitude_m`` with an optional temperature offset.
+
+    Supports the environment model (air density changes thrust and hence
+    the inner-loop operating point).
+    """
+    if altitude_m < -500.0 or altitude_m > 11_000.0:
+        raise ValueError(f"altitude outside tropospheric model: {altitude_m} m")
+    temperature_k = (
+        SEA_LEVEL_TEMPERATURE_K
+        - TEMPERATURE_LAPSE_RATE_K_M * altitude_m
+        + temperature_offset_k
+    )
+    pressure_pa = SEA_LEVEL_PRESSURE_PA * (
+        1.0 - TEMPERATURE_LAPSE_RATE_K_M * altitude_m / SEA_LEVEL_TEMPERATURE_K
+    ) ** (GRAVITY_M_S2 / (AIR_GAS_CONSTANT_J_KG_K * TEMPERATURE_LAPSE_RATE_K_M))
+    return pressure_pa / (AIR_GAS_CONSTANT_J_KG_K * temperature_k)
+
+
+def grams_to_newtons(grams: float) -> float:
+    """Convert a thrust/weight expressed in grams-force to newtons."""
+    return grams / 1000.0 * GRAVITY_M_S2
+
+
+def newtons_to_grams(newtons: float) -> float:
+    """Convert a force in newtons to grams-force (the hobby-drone unit)."""
+    return newtons / GRAVITY_M_S2 * 1000.0

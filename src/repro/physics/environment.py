@@ -1,0 +1,85 @@
+"""Environment model: air density, wind, and gusts.
+
+Table 1 of the paper lists the unpredictable effects the inner-loop control
+must compensate — wind gusts, local disturbances, atmospheric turbulence.
+This module synthesizes those disturbances deterministically (seeded) so the
+control-system experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.physics import constants
+
+
+@dataclass
+class Wind:
+    """Steady wind plus a Dryden-like first-order gust process.
+
+    The gust component is an Ornstein-Uhlenbeck process per axis: band-limited
+    noise whose intensity scales with ``gust_speed_m_s`` and whose bandwidth
+    is ``1 / correlation_time_s``.
+    """
+
+    mean_m_s: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    gust_speed_m_s: float = 0.0
+    correlation_time_s: float = 1.5
+    seed: int = 0
+    _state: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.gust_speed_m_s < 0:
+            raise ValueError(f"gust speed must be non-negative, got {self.gust_speed_m_s}")
+        if self.correlation_time_s <= 0:
+            raise ValueError("gust correlation time must be positive")
+        self._state = np.zeros(3)
+        self._rng = np.random.default_rng(self.seed)
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance the gust process by ``dt`` and return the wind vector (m/s)."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if self.gust_speed_m_s > 0:
+            alpha = math.exp(-dt / self.correlation_time_s)
+            noise_scale = self.gust_speed_m_s * math.sqrt(1.0 - alpha * alpha)
+            self._state = alpha * self._state + noise_scale * self._rng.standard_normal(3)
+        return np.asarray(self.mean_m_s, dtype=float) + self._state
+
+    def reset(self) -> None:
+        self._state = np.zeros(3)
+        self._rng = np.random.default_rng(self.seed)
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Ambient conditions seen by the airframe."""
+
+    altitude_m: float = 0.0
+    temperature_offset_k: float = 0.0
+
+    @property
+    def air_density(self) -> float:
+        return constants.air_density_kg_m3(self.altitude_m, self.temperature_offset_k)
+
+    def drag_force_n(
+        self,
+        velocity_m_s: np.ndarray,
+        drag_coefficient_area: float,
+    ) -> np.ndarray:
+        """Quadratic body drag opposing ``velocity_m_s``.
+
+        ``drag_coefficient_area`` is Cd*A in m^2 — a lumped airframe constant.
+        """
+        if drag_coefficient_area < 0:
+            raise ValueError("Cd*A must be non-negative")
+        speed = float(np.linalg.norm(velocity_m_s))
+        if speed == 0.0:
+            return np.zeros(3)
+        magnitude = 0.5 * self.air_density * drag_coefficient_area * speed * speed
+        return -magnitude * velocity_m_s / speed

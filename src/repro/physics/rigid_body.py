@@ -1,0 +1,206 @@
+"""Six-degree-of-freedom quadcopter rigid-body dynamics.
+
+State follows the paper's Section 2.1.3-D definition
+``x = (zeta, zeta_dot, Omega, R)``: position, velocity, angular velocity,
+and attitude.  Attitude is stored as a unit quaternion (world-from-body) and
+exposed as a rotation matrix ``R in SO(3)``.
+
+The quadcopter uses the standard X configuration with four rotors: rotors 1
+and 2 spin opposite to rotors 3 and 4 so yaw is controlled by differential
+torque (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.physics import constants
+from repro.physics.environment import Environment, Wind
+
+# Rotor layout: X configuration, arms at 45/135/225/315 degrees.
+# Columns: (x, y) body-frame arm direction; spin: +1 CCW, -1 CW.
+_ROTOR_ANGLES = np.deg2rad([45.0, 225.0, 135.0, 315.0])
+_ROTOR_SPIN = np.array([1.0, 1.0, -1.0, -1.0])
+
+
+def quaternion_to_rotation(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix (world from body) from a unit quaternion [w, x, y, z]."""
+    w, x, y, z = q
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def quaternion_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamilton product a*b of two [w, x, y, z] quaternions."""
+    aw, ax, ay, az = a
+    bw, bx, by, bz = b
+    return np.array(
+        [
+            aw * bw - ax * bx - ay * by - az * bz,
+            aw * bx + ax * bw + ay * bz - az * by,
+            aw * by - ax * bz + ay * bw + az * bx,
+            aw * bz + ax * by - ay * bx + az * bw,
+        ]
+    )
+
+
+def quaternion_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Unit quaternion from ZYX Euler angles (radians)."""
+    cr, sr = math.cos(roll / 2), math.sin(roll / 2)
+    cp, sp = math.cos(pitch / 2), math.sin(pitch / 2)
+    cy, sy = math.cos(yaw / 2), math.sin(yaw / 2)
+    return np.array(
+        [
+            cr * cp * cy + sr * sp * sy,
+            sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy,
+            cr * cp * sy - sr * sp * cy,
+        ]
+    )
+
+
+def euler_from_quaternion(q: np.ndarray) -> np.ndarray:
+    """ZYX Euler angles [roll, pitch, yaw] (radians) from a unit quaternion."""
+    w, x, y, z = q
+    roll = math.atan2(2 * (w * x + y * z), 1 - 2 * (x * x + y * y))
+    sin_pitch = max(-1.0, min(1.0, 2 * (w * y - z * x)))
+    pitch = math.asin(sin_pitch)
+    yaw = math.atan2(2 * (w * z + x * y), 1 - 2 * (y * y + z * z))
+    return np.array([roll, pitch, yaw])
+
+
+@dataclass
+class QuadcopterState:
+    """Full rigid-body state; world frame is ENU with +z up."""
+
+    position_m: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    velocity_m_s: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    quaternion: np.ndarray = field(default_factory=lambda: np.array([1.0, 0, 0, 0]))
+    angular_velocity_rad_s: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return quaternion_to_rotation(self.quaternion)
+
+    @property
+    def euler_rad(self) -> np.ndarray:
+        return euler_from_quaternion(self.quaternion)
+
+    def copy(self) -> "QuadcopterState":
+        return QuadcopterState(
+            position_m=self.position_m.copy(),
+            velocity_m_s=self.velocity_m_s.copy(),
+            quaternion=self.quaternion.copy(),
+            angular_velocity_rad_s=self.angular_velocity_rad_s.copy(),
+        )
+
+
+@dataclass
+class QuadcopterBody:
+    """Rigid-body integrator for an X-configuration quadcopter.
+
+    ``arm_length_m`` is the motor-to-center distance (wheelbase / 2 along the
+    diagonal).  Inertia defaults to a thin-disk approximation from mass and
+    arm length when not supplied.
+    """
+
+    mass_kg: float
+    arm_length_m: float
+    inertia_kg_m2: Optional[np.ndarray] = None
+    drag_coefficient_area: float = 0.02
+    environment: Environment = field(default_factory=Environment)
+    wind: Optional[Wind] = None
+    state: QuadcopterState = field(default_factory=QuadcopterState)
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError(f"mass must be positive, got {self.mass_kg}")
+        if self.arm_length_m <= 0:
+            raise ValueError(f"arm length must be positive, got {self.arm_length_m}")
+        if self.inertia_kg_m2 is None:
+            ixx = 0.35 * self.mass_kg * self.arm_length_m**2
+            self.inertia_kg_m2 = np.diag([ixx, ixx, 1.8 * ixx])
+        self.inertia_kg_m2 = np.asarray(self.inertia_kg_m2, dtype=float)
+        if self.inertia_kg_m2.shape != (3, 3):
+            raise ValueError("inertia must be a 3x3 matrix")
+
+    @property
+    def hover_thrust_per_motor_n(self) -> float:
+        """Per-motor thrust (N) that exactly balances gravity."""
+        return self.mass_kg * constants.GRAVITY_M_S2 / 4.0
+
+    def wrench_from_motor_thrusts(
+        self, thrusts_n: np.ndarray, torque_thrust_ratio_m: float = 0.016
+    ) -> tuple:
+        """Body-frame total force (z only) and torque from per-motor thrusts.
+
+        ``torque_thrust_ratio_m`` maps rotor thrust to reaction torque
+        (Cq*D/Ct in momentum terms); the default matches small quads.
+        """
+        thrusts = np.asarray(thrusts_n, dtype=float)
+        if thrusts.shape != (4,):
+            raise ValueError(f"need 4 motor thrusts, got shape {thrusts.shape}")
+        if np.any(thrusts < -1e-9):
+            raise ValueError("motor thrusts cannot be negative")
+        total_thrust = float(np.sum(thrusts))
+        arm_x = self.arm_length_m * np.cos(_ROTOR_ANGLES)
+        arm_y = self.arm_length_m * np.sin(_ROTOR_ANGLES)
+        torque_roll = float(np.sum(arm_y * thrusts))
+        torque_pitch = float(-np.sum(arm_x * thrusts))
+        torque_yaw = float(np.sum(_ROTOR_SPIN * thrusts) * torque_thrust_ratio_m)
+        return total_thrust, np.array([torque_roll, torque_pitch, torque_yaw])
+
+    def step(self, thrusts_n: np.ndarray, dt: float) -> QuadcopterState:
+        """Advance dynamics by ``dt`` seconds under per-motor thrusts (N).
+
+        Semi-implicit Euler with quaternion renormalization — stable at the
+        1 kHz inner-loop rates the paper's Table 2 prescribes.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        total_thrust, body_torque = self.wrench_from_motor_thrusts(thrusts_n)
+        state = self.state
+        rotation = state.rotation
+
+        thrust_world = rotation @ np.array([0.0, 0.0, total_thrust])
+        gravity = np.array([0.0, 0.0, -self.mass_kg * constants.GRAVITY_M_S2])
+        airspeed = state.velocity_m_s.copy()
+        if self.wind is not None:
+            airspeed -= self.wind.step(dt)
+        drag = self.environment.drag_force_n(airspeed, self.drag_coefficient_area)
+
+        acceleration = (thrust_world + gravity + drag) / self.mass_kg
+        state.velocity_m_s = state.velocity_m_s + acceleration * dt
+        state.position_m = state.position_m + state.velocity_m_s * dt
+        # Ground plane: the drone cannot fall through the floor.
+        if state.position_m[2] < 0.0:
+            state.position_m[2] = 0.0
+            if state.velocity_m_s[2] < 0.0:
+                state.velocity_m_s[2] = 0.0
+
+        omega = state.angular_velocity_rad_s
+        inertia = self.inertia_kg_m2
+        omega_dot = np.linalg.solve(
+            inertia, body_torque - np.cross(omega, inertia @ omega)
+        )
+        state.angular_velocity_rad_s = omega + omega_dot * dt
+
+        omega_quat = np.concatenate([[0.0], state.angular_velocity_rad_s])
+        q_dot = 0.5 * quaternion_multiply(state.quaternion, omega_quat)
+        state.quaternion = state.quaternion + q_dot * dt
+        state.quaternion /= np.linalg.norm(state.quaternion)
+        return state
+
+    def reset(self, state: Optional[QuadcopterState] = None) -> None:
+        self.state = state.copy() if state is not None else QuadcopterState()
+        if self.wind is not None:
+            self.wind.reset()

@@ -1,0 +1,106 @@
+"""First-order thermal model — deriving the ESC flight-class split.
+
+Paper Figure 8a divides ESCs into *short-flight* (racing) and *long-flight*
+classes: "In racing, ESCs are designed with lighter MOSFETs and capacitors
+that overheat in longer flights."  A lumped thermal RC model makes that
+quantitative: power dissipated in the MOSFETs heats a thermal mass that
+sheds heat through a thermal resistance; lighter ESCs have less mass and
+higher resistance, so they cross their temperature limit in minutes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+AMBIENT_C = 25.0
+MOSFET_LIMIT_C = 110.0
+
+
+@dataclass
+class ThermalModel:
+    """Lumped thermal RC: dT/dt = (P - (T - T_amb)/R) / C."""
+
+    thermal_resistance_c_per_w: float
+    thermal_capacity_j_per_c: float
+    ambient_c: float = AMBIENT_C
+    temperature_c: float = field(default=AMBIENT_C)
+    limit_c: float = MOSFET_LIMIT_C
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w <= 0:
+            raise ValueError("thermal resistance must be positive")
+        if self.thermal_capacity_j_per_c <= 0:
+            raise ValueError("thermal capacity must be positive")
+        if self.temperature_c < self.ambient_c - 50:
+            raise ValueError("implausible initial temperature")
+
+    def step(self, power_w: float, dt: float) -> float:
+        """Advance by ``dt`` seconds at ``power_w`` dissipation; returns T."""
+        if power_w < 0:
+            raise ValueError(f"power cannot be negative: {power_w}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive: {dt}")
+        tau = self.thermal_resistance_c_per_w * self.thermal_capacity_j_per_c
+        steady = self.ambient_c + power_w * self.thermal_resistance_c_per_w
+        alpha = math.exp(-dt / tau)
+        self.temperature_c = steady + (self.temperature_c - steady) * alpha
+        return self.temperature_c
+
+    @property
+    def overheated(self) -> bool:
+        return self.temperature_c > self.limit_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        if power_w < 0:
+            raise ValueError(f"power cannot be negative: {power_w}")
+        return self.ambient_c + power_w * self.thermal_resistance_c_per_w
+
+    def time_to_limit_s(self, power_w: float) -> float:
+        """Seconds until the limit at constant power (inf if never)."""
+        steady = self.steady_state_c(power_w)
+        if steady <= self.limit_c:
+            return math.inf
+        tau = self.thermal_resistance_c_per_w * self.thermal_capacity_j_per_c
+        ratio = (steady - self.limit_c) / (steady - self.temperature_c)
+        if ratio <= 0:
+            return 0.0
+        return -tau * math.log(ratio)
+
+    def reset(self) -> None:
+        self.temperature_c = self.ambient_c
+
+
+def esc_thermal_model(esc_class, weight_g: float) -> ThermalModel:
+    """A thermal model matching an ESC's class and weight.
+
+    Heavier ESCs carry more copper/aluminium (thermal mass) and bigger
+    pads (lower resistance).  Racing ESCs trade both away for weight —
+    which is exactly why they overheat past ~5 minutes.
+    """
+    from repro.components.esc import EscClass
+
+    if weight_g <= 0:
+        raise ValueError(f"weight must be positive: {weight_g}")
+    if esc_class is EscClass.LONG_FLIGHT:
+        resistance = 14.0 / (weight_g / 20.0)
+        capacity = 3.2 * weight_g
+    else:
+        resistance = 30.0 / (weight_g / 10.0)
+        capacity = 2.2 * weight_g
+    return ThermalModel(
+        thermal_resistance_c_per_w=resistance,
+        thermal_capacity_j_per_c=capacity,
+    )
+
+
+def esc_dissipation_w(
+    phase_current_a: float, on_resistance_ohm: float = 0.004,
+    switching_loss_w_per_a: float = 0.035,
+) -> float:
+    """MOSFET dissipation at a phase current: conduction + switching."""
+    if phase_current_a < 0:
+        raise ValueError("current cannot be negative")
+    conduction = phase_current_a**2 * on_resistance_ohm * 2.0  # two FETs on
+    switching = switching_loss_w_per_a * phase_current_a
+    return conduction + switching

@@ -1,0 +1,95 @@
+"""Microarchitecture simulation and platform models (paper Section 5)."""
+
+from repro.platforms.accelerator import (
+    FPGA_CLOCK_HZ,
+    AcceleratorBlock,
+    AcceleratorDesign,
+    navion_asic,
+    zynq_ba_accelerator,
+)
+from repro.platforms.branch import BranchStats, GsharePredictor
+from repro.platforms.cache import (
+    CacheStats,
+    SetAssociativeCache,
+    rpi_cache_hierarchy,
+)
+from repro.platforms.cpu import CorePenalties, InOrderCore, PerfCounters
+from repro.platforms.deadlines import (
+    DeadlineReport,
+    corun_deadline_comparison,
+    slam_frame_deadlines,
+)
+from repro.platforms.perf import (
+    InterferenceReport,
+    run_interference_study,
+    separate_rpi_speedup,
+)
+from repro.platforms.profiles import (
+    BASELINE_FLIGHT_TIME_MIN,
+    LARGE_DRONE_TOTAL_POWER_W,
+    SMALL_DRONE_TOTAL_POWER_W,
+    Figure17Study,
+    PlatformProfile,
+    SequenceSpeedup,
+    Table5Row,
+    all_profiles,
+    asic_profile,
+    best_platform,
+    figure17_study,
+    fpga_profile,
+    rpi4_profile,
+    table5,
+    tx2_profile,
+)
+from repro.platforms.tlb import Tlb, TlbStats
+from repro.platforms.workload import (
+    OpKind,
+    Trace,
+    autopilot_trace,
+    interleave,
+    slam_trace,
+)
+
+__all__ = [
+    "FPGA_CLOCK_HZ",
+    "AcceleratorBlock",
+    "AcceleratorDesign",
+    "navion_asic",
+    "zynq_ba_accelerator",
+    "BranchStats",
+    "GsharePredictor",
+    "CacheStats",
+    "SetAssociativeCache",
+    "rpi_cache_hierarchy",
+    "CorePenalties",
+    "InOrderCore",
+    "PerfCounters",
+    "InterferenceReport",
+    "run_interference_study",
+    "separate_rpi_speedup",
+    "DeadlineReport",
+    "corun_deadline_comparison",
+    "slam_frame_deadlines",
+    "BASELINE_FLIGHT_TIME_MIN",
+    "LARGE_DRONE_TOTAL_POWER_W",
+    "SMALL_DRONE_TOTAL_POWER_W",
+    "Figure17Study",
+    "PlatformProfile",
+    "SequenceSpeedup",
+    "Table5Row",
+    "all_profiles",
+    "asic_profile",
+    "best_platform",
+    "figure17_study",
+    "fpga_profile",
+    "rpi4_profile",
+    "table5",
+    "tx2_profile",
+    "Tlb",
+    "TlbStats",
+    "OpKind",
+    "Trace",
+    "autopilot_trace",
+    "interleave",
+    "slam_trace",
+]

@@ -1,0 +1,69 @@
+"""Branch predictor simulator (gshare with 2-bit counters).
+
+Figure 15's third counter: co-running SLAM raises the autopilot's
+branch-prediction miss rate because the shared global history and pattern
+tables get polluted by SLAM's data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    branches: int = 0
+    mispredictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.branches == 0:
+            raise ValueError("no branches recorded; miss rate undefined")
+        return self.mispredictions / self.branches
+
+    def reset(self) -> None:
+        self.branches = 0
+        self.mispredictions = 0
+
+
+class GsharePredictor:
+    """Gshare: PC xor global-history indexed table of 2-bit counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        if not 4 <= table_bits <= 24:
+            raise ValueError(f"table bits out of range: {table_bits}")
+        if not 0 <= history_bits <= table_bits:
+            raise ValueError(f"history bits out of range: {history_bits}")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._table = [2] * (1 << table_bits)  # weakly taken
+        self._history = 0
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.table_bits) - 1
+        history = self._history & ((1 << self.history_bits) - 1)
+        return ((pc >> 2) ^ history) & mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``; update state; returns prediction correct."""
+        if pc < 0:
+            raise ValueError(f"pc cannot be negative: {pc}")
+        index = self._index(pc)
+        prediction = self._table[index] >= 2
+        correct = prediction == taken
+        self.stats.branches += 1
+        if not correct:
+            self.stats.mispredictions += 1
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self.history_bits) - 1
+        )
+        return correct
+
+    def flush_history(self) -> None:
+        """Clear the global history (context-switch pollution model)."""
+        self._history = 0

@@ -1,0 +1,138 @@
+"""Set-associative cache simulator (LRU) for the Figure 15 interference study.
+
+The paper measures, with Linux perf on the RPi, how running SLAM beside the
+autopilot degrades LLC and branch behaviour.  We reproduce the mechanism
+with a trace-driven cache hierarchy: private L1s per workload context and a
+shared LLC whose capacity contention is what the co-run experiment exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            raise ValueError("no accesses recorded; miss rate undefined")
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+class SetAssociativeCache:
+    """A classic set-associative LRU cache over 64-bit addresses."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 64,
+        associativity: int = 4,
+        next_level: Optional["SetAssociativeCache"] = None,
+        name: str = "cache",
+        prefetch_next_line: bool = False,
+    ):
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"line*associativity {line_bytes * associativity}"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.set_count = size_bytes // (line_bytes * associativity)
+        self.next_level = next_level
+        self.prefetch_next_line = prefetch_next_line
+        self.stats = CacheStats()
+        #: Whether the most recent demand miss also missed in next_level —
+        #: lets the core charge the DRAM penalty only for demand misses,
+        #: not prefetch fills.
+        self.last_demand_missed_below = False
+        # Per set: dict tag -> last-use stamp (LRU via counter).
+        self._sets: Dict[int, Dict[int, int]] = {}
+        self._use_counter = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.set_count * self.associativity * self.line_bytes
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; returns True on hit.  Misses recurse downward."""
+        if address < 0:
+            raise ValueError(f"address cannot be negative: {address}")
+        self.stats.accesses += 1
+        self._use_counter += 1
+        line = address // self.line_bytes
+        set_index = line % self.set_count
+        tag = line // self.set_count
+        ways = self._sets.setdefault(set_index, {})
+        if tag in ways:
+            ways[tag] = self._use_counter
+            return True
+        self.stats.misses += 1
+        self.last_demand_missed_below = False
+        if self.next_level is not None:
+            self.last_demand_missed_below = not self.next_level.access(address)
+        if len(ways) >= self.associativity:
+            victim = min(ways, key=ways.get)
+            del ways[victim]
+        ways[tag] = self._use_counter
+        if self.prefetch_next_line:
+            self._install(address + self.line_bytes)
+        return False
+
+    def _install(self, address: int) -> None:
+        """Install a line without charging demand-access statistics.
+
+        Used by the next-line prefetcher; the fill still propagates to the
+        next level (a real prefetch occupies LLC bandwidth and capacity).
+        """
+        line = address // self.line_bytes
+        set_index = line % self.set_count
+        tag = line // self.set_count
+        ways = self._sets.setdefault(set_index, {})
+        if tag in ways:
+            return
+        if self.next_level is not None:
+            self.next_level.access(address)
+        if len(ways) >= self.associativity:
+            victim = min(ways, key=ways.get)
+            del ways[victim]
+        self._use_counter += 1
+        ways[tag] = self._use_counter
+
+    def flush(self) -> None:
+        """Invalidate all lines (context-switch cost modeling)."""
+        self._sets.clear()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        if self.next_level is not None:
+            self.next_level.reset_stats()
+
+
+def rpi_cache_hierarchy() -> tuple:
+    """(L1D, LLC) roughly shaped like a Raspberry Pi Cortex-A core.
+
+    32 KiB 4-way L1D over a shared 1 MiB 16-way LLC.  Returns the L1 (front
+    door) and the LLC (shared level) so co-run experiments can share the LLC
+    across contexts.
+    """
+    llc = SetAssociativeCache(
+        size_bytes=1024 * 1024, line_bytes=64, associativity=16, name="LLC"
+    )
+    l1 = SetAssociativeCache(
+        size_bytes=32 * 1024, line_bytes=64, associativity=4,
+        next_level=llc, name="L1D", prefetch_next_line=True,
+    )
+    return l1, llc

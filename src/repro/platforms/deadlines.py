@@ -1,0 +1,135 @@
+"""Outer-loop deadline analysis (paper Section 5.1).
+
+"These observations indicate that by running a few additional workloads,
+specifically heavy ones, the real-time response of the autopilot will lag
+and we will miss several outer-loop deadlines."
+
+Outer-loop tasks (SLAM frame processing, planning updates) have per-period
+deadlines set by sensor rates.  This module converts the SLAM pipeline's
+per-frame operation counts plus a platform's (possibly contention-degraded)
+throughput into deadline-miss statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.platforms.profiles import PlatformProfile
+from repro.slam.dataset import FRAME_RATE_HZ
+from repro.slam.pipeline import SlamRunResult, Stage
+
+
+@dataclass(frozen=True)
+class DeadlineReport:
+    """Deadline statistics for one outer-loop task stream."""
+
+    task: str
+    period_s: float
+    frames: int
+    misses: int
+    worst_latency_s: float
+    mean_latency_s: float
+
+    @property
+    def miss_rate(self) -> float:
+        if self.frames == 0:
+            raise ValueError("no frames analyzed")
+        return self.misses / self.frames
+
+    @property
+    def meets_realtime(self) -> bool:
+        return self.misses == 0
+
+
+def slam_frame_deadlines(
+    result: SlamRunResult,
+    platform: PlatformProfile,
+    frame_rate_hz: float = FRAME_RATE_HZ,
+    throughput_scale: float = 1.0,
+    keyframe_interval: int = 10,
+) -> DeadlineReport:
+    """Per-frame deadline analysis of the SLAM stream on ``platform``.
+
+    ``throughput_scale`` degrades sustained throughput — e.g. the measured
+    co-run IPC degradation from the Figure 15 study (1/2.2 when SLAM shares
+    the RPi with the autopilot).  Local BA cost is charged on keyframe
+    frames; per-frame tracking/extraction on every frame, matching how the
+    pipeline actually schedules work.
+    """
+    if frame_rate_hz <= 0:
+        raise ValueError(f"frame rate must be positive: {frame_rate_hz}")
+    if not 0.0 < throughput_scale <= 1.0:
+        raise ValueError(
+            f"throughput scale must be in (0, 1], got {throughput_scale}"
+        )
+    if keyframe_interval <= 0:
+        raise ValueError("keyframe interval must be positive")
+    period = 1.0 / frame_rate_hz
+    frames = result.frames_processed
+    if frames == 0:
+        raise ValueError("SLAM run processed no frames")
+
+    ops = result.breakdown.operations
+    per_frame_ops = (
+        ops[Stage.FEATURE_EXTRACTION] + ops[Stage.TRACKING]
+    ) / frames
+    keyframes = max(1, result.keyframes)
+    per_keyframe_ops = ops[Stage.LOCAL_BA] / keyframes
+
+    extraction_throughput = (
+        platform.stage_throughput_ops_s[Stage.FEATURE_EXTRACTION]
+        * throughput_scale
+    )
+    ba_throughput = (
+        platform.stage_throughput_ops_s[Stage.LOCAL_BA] * throughput_scale
+    )
+
+    frame_time = per_frame_ops / extraction_throughput
+    keyframe_extra = per_keyframe_ops / ba_throughput
+
+    misses = 0
+    latencies: List[float] = []
+    backlog = 0.0
+    for index in range(frames):
+        work = frame_time + (
+            keyframe_extra if index % keyframe_interval == 0 else 0.0
+        )
+        completion = backlog + work
+        latencies.append(completion)
+        if completion > period:
+            misses += 1
+            backlog = completion - period
+        else:
+            backlog = 0.0
+    return DeadlineReport(
+        task=f"slam@{platform.name}",
+        period_s=period,
+        frames=frames,
+        misses=misses,
+        worst_latency_s=max(latencies),
+        mean_latency_s=sum(latencies) / len(latencies),
+    )
+
+
+def corun_deadline_comparison(
+    result: SlamRunResult,
+    platform: PlatformProfile,
+    ipc_degradation: float,
+    frame_rate_hz: float = FRAME_RATE_HZ,
+) -> tuple:
+    """(dedicated, co-run) deadline reports — the Section 5.1 comparison.
+
+    ``ipc_degradation`` comes from the Figure 15 interference study: the
+    factor by which sharing the core with the autopilot slows SLAM down.
+    """
+    if ipc_degradation < 1.0:
+        raise ValueError(
+            f"IPC degradation must be >= 1, got {ipc_degradation}"
+        )
+    dedicated = slam_frame_deadlines(result, platform, frame_rate_hz)
+    shared = slam_frame_deadlines(
+        result, platform, frame_rate_hz,
+        throughput_scale=1.0 / ipc_degradation,
+    )
+    return dedicated, shared

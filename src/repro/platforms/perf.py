@@ -1,0 +1,171 @@
+"""The Figure 15 experiment: perf counters for autopilot, SLAM, and the co-run.
+
+Three measurements on the RPi core model:
+
+1. autopilot alone,
+2. SLAM alone,
+3. autopilot co-scheduled with SLAM on the same core (shared LLC/TLB/
+   predictor, context switches every scheduling quantum),
+
+then the paper's derived quantities: the autopilot's LLC/branch miss-rate
+increases, the TLB-miss multiplier (paper: 4.5x), and the IPC degradation
+(paper: 1.7x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.platforms.cpu import InOrderCore, PerfCounters
+from repro.platforms.workload import autopilot_trace, interleave, slam_trace
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """All Figure 15 numbers in one place."""
+
+    autopilot_alone: PerfCounters
+    slam_alone: PerfCounters
+    autopilot_corun: PerfCounters
+    slam_corun: PerfCounters
+
+    @property
+    def ipc_degradation(self) -> float:
+        """Autopilot IPC alone / co-run (paper: ~1.7x)."""
+        return self.autopilot_alone.ipc / self.autopilot_corun.ipc
+
+    @property
+    def tlb_miss_multiplier(self) -> float:
+        """Autopilot TLB misses co-run / alone (paper: ~4.5x).
+
+        Normalized per instruction so trace lengths cancel.
+        """
+        alone = self.autopilot_alone.tlb_misses / max(
+            1, self.autopilot_alone.instructions
+        )
+        corun = self.autopilot_corun.tlb_misses / max(
+            1, self.autopilot_corun.instructions
+        )
+        if alone == 0:
+            raise ValueError("autopilot-alone run recorded zero TLB misses")
+        return corun / alone
+
+    @property
+    def llc_miss_rate_increase(self) -> float:
+        """Autopilot LLC miss rate co-run minus alone (percentage points)."""
+        return (
+            self.autopilot_corun.llc_miss_rate
+            - self.autopilot_alone.llc_miss_rate
+        )
+
+    @property
+    def branch_miss_rate_increase(self) -> float:
+        """Autopilot branch miss rate co-run minus alone (points)."""
+        return (
+            self.autopilot_corun.branch_miss_rate
+            - self.autopilot_alone.branch_miss_rate
+        )
+
+    def figure15_rows(self) -> Dict[str, Dict[str, float]]:
+        """The three Figure 15 bar groups: miss rates (%) and IPC."""
+        def row(counters: PerfCounters) -> Dict[str, float]:
+            return {
+                "llc_miss_rate_pct": counters.llc_miss_rate * 100.0,
+                "branch_miss_rate_pct": counters.branch_miss_rate * 100.0,
+                "ipc": counters.ipc,
+            }
+
+        return {
+            "autopilot": row(self.autopilot_alone),
+            "slam": row(self.slam_alone),
+            "autopilot_w_slam": row(self.autopilot_corun),
+        }
+
+
+#: CPU-time share ArduCopter + RCIO consume on the flight RPi (the inner
+#: loop plus daemons at 400 Hz keep more than half the core busy).
+AUTOPILOT_CPU_SHARE = 0.55
+
+
+def separate_rpi_speedup(
+    report: InterferenceReport,
+    autopilot_cpu_share: float = AUTOPILOT_CPU_SHARE,
+) -> float:
+    """Section 5.2: how much faster SLAM runs on a *separate* RPi (~2.3x).
+
+    Two effects compose: on a dedicated board SLAM keeps the whole core
+    (the autopilot's CPU-time share comes back) and stops paying the
+    co-run microarchitectural interference (measured by the study).
+    """
+    if not 0.0 <= autopilot_cpu_share < 1.0:
+        raise ValueError(
+            f"CPU share must be in [0, 1), got {autopilot_cpu_share}"
+        )
+    interference_loss = report.slam_alone.ipc / report.slam_corun.ipc
+    return interference_loss / (1.0 - autopilot_cpu_share)
+
+
+def run_interference_study(
+    trace_length: int = 100_000,
+    autopilot_quantum: int = 1_500,
+    slam_quantum: int = 16_000,
+    warmup_fraction: float = 1.0,
+    seed: int = 5,
+) -> InterferenceReport:
+    """Run the three Figure 15 measurements on fresh core models.
+
+    Each measurement excludes a warmup prefix from its counters (compulsory
+    misses would otherwise dominate these short traces; perf measures
+    minutes of steady state).  The co-run uses asymmetric quanta: the
+    autopilot wakes briefly each control period while SLAM runs long slices
+    between wakeups.
+    """
+    if trace_length <= 0:
+        raise ValueError(f"trace length must be positive: {trace_length}")
+    if not 0.0 <= warmup_fraction <= 2.0:
+        raise ValueError(f"warmup fraction must be in [0, 2]: {warmup_fraction}")
+    warmup = int(trace_length * warmup_fraction)
+    autopilot = autopilot_trace(length=trace_length + warmup, seed=seed + 1)
+    # SLAM gets proportionally more instructions, as it does on the real RPi.
+    slam_scale = max(1, slam_quantum // autopilot_quantum)
+    slam = slam_trace(
+        length=(trace_length + warmup) * slam_scale, seed=seed + 2
+    )
+
+    core_a = InOrderCore()
+    core_a.run_trace("warmup", autopilot.slice(0, warmup))
+    core_a.reset_counters()
+    autopilot_alone = core_a.run_trace("autopilot", autopilot.slice(warmup, autopilot.length))
+
+    core_b = InOrderCore()
+    core_b.run_trace("warmup", slam.slice(0, warmup))
+    core_b.reset_counters()
+    slam_alone = core_b.run_trace(
+        "slam", slam.slice(warmup, warmup + trace_length)
+    )
+
+    core_c = InOrderCore()
+    segments = interleave(
+        autopilot, slam, timeslice=autopilot_quantum, timeslice_b=slam_quantum
+    )
+    warmup_segments = []
+    measured_segments = []
+    consumed = {"autopilot": 0, "slam": 0}
+    for context, segment in segments:
+        if consumed["autopilot"] < warmup:
+            warmup_segments.append((context, segment))
+        else:
+            measured_segments.append((context, segment))
+        consumed[context] += segment.length
+    if warmup_segments:
+        core_c.run_segments(warmup_segments)
+        core_c.reset_counters()
+    corun = core_c.run_segments(measured_segments)
+
+    return InterferenceReport(
+        autopilot_alone=autopilot_alone,
+        slam_alone=slam_alone,
+        autopilot_corun=corun["autopilot"],
+        slam_corun=corun["slam"],
+    )

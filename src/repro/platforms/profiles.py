@@ -1,0 +1,354 @@
+"""Platform profiles and the Figure 17 / Table 5 studies.
+
+A :class:`PlatformProfile` prices each SLAM pipeline stage (operation
+counts from :class:`repro.slam.pipeline.StageBreakdown`) into seconds using
+per-stage sustained throughput.  Throughputs are *stage-specific* because
+that is the physics of the paper's result: on the RPi, bundle adjustment is
+scalar, pointer-heavy, and cache-hostile (low sustained ops/s) while
+feature extraction is NEON-streaming (high ops/s) — which is why BA is ~90%
+of RPi execution time even though it is a smaller share of raw operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platforms.accelerator import navion_asic, zynq_ba_accelerator
+from repro.slam.pipeline import SlamRunResult, Stage, StageBreakdown
+
+GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One execution platform for the SLAM workload."""
+
+    name: str
+    stage_throughput_ops_s: Dict[Stage, float]
+    power_overhead_w: float     # extra power the drone pays to host SLAM here
+    weight_overhead_g: float    # extra weight the drone carries
+    integration_cost: str       # Table 5 qualitative rows
+    fabrication_cost: str
+
+    def __post_init__(self) -> None:
+        missing = [s for s in Stage if s not in self.stage_throughput_ops_s]
+        if missing:
+            raise ValueError(f"{self.name}: missing stage throughputs {missing}")
+        if any(v <= 0 for v in self.stage_throughput_ops_s.values()):
+            raise ValueError(f"{self.name}: throughputs must be positive")
+        if self.power_overhead_w < 0 or self.weight_overhead_g < 0:
+            raise ValueError("overheads cannot be negative")
+
+    def stage_times_s(self, breakdown: StageBreakdown) -> Dict[Stage, float]:
+        """Seconds spent per stage for the given operation counts."""
+        return {
+            stage: breakdown.operations[stage]
+            / self.stage_throughput_ops_s[stage]
+            for stage in Stage
+        }
+
+    def total_time_s(self, breakdown: StageBreakdown) -> float:
+        return sum(self.stage_times_s(breakdown).values())
+
+    def ba_time_fraction(self, breakdown: StageBreakdown) -> float:
+        """Share of execution time in local+global BA (paper: ~90% on RPi)."""
+        times = self.stage_times_s(breakdown)
+        total = sum(times.values())
+        if total == 0:
+            raise ValueError("no work recorded")
+        return (times[Stage.LOCAL_BA] + times[Stage.GLOBAL_BA]) / total
+
+
+def rpi4_profile() -> PlatformProfile:
+    """Raspberry Pi 4: the baseline executing ORB-SLAM in software."""
+    return PlatformProfile(
+        name="RPi",
+        stage_throughput_ops_s={
+            # NEON-friendly streaming kernels.
+            Stage.FEATURE_EXTRACTION: 3.8 * GIGA,
+            # Sparse, pointer-chasing, cache-hostile matrix assembly.
+            Stage.LOCAL_BA: 0.25 * GIGA,
+            Stage.GLOBAL_BA: 0.25 * GIGA,
+            Stage.TRACKING: 0.30 * GIGA,
+        },
+        power_overhead_w=2.0,
+        weight_overhead_g=50.0,
+        integration_cost="Low",
+        fabrication_cost="Low",
+    )
+
+
+def tx2_profile() -> PlatformProfile:
+    """Nvidia Jetson TX2: GPU-accelerated BA, ~2x front end."""
+    return PlatformProfile(
+        name="TX2",
+        stage_throughput_ops_s={
+            Stage.FEATURE_EXTRACTION: 7.6 * GIGA,
+            Stage.LOCAL_BA: 0.575 * GIGA,
+            Stage.GLOBAL_BA: 0.575 * GIGA,
+            Stage.TRACKING: 0.66 * GIGA,
+        },
+        power_overhead_w=10.0,
+        weight_overhead_g=85.0,
+        integration_cost="Low",
+        fabrication_cost="Low",
+    )
+
+
+def fpga_profile() -> PlatformProfile:
+    """ZYNQ XC7Z020: pipelined dense-block BA engine + eSLAM front end."""
+    design = zynq_ba_accelerator()
+    return PlatformProfile(
+        name="FPGA",
+        stage_throughput_ops_s={
+            Stage.FEATURE_EXTRACTION: design.blocks[
+                "feature_front_end"
+            ].throughput_ops_s * 1.1,
+            Stage.LOCAL_BA: design.blocks["ba_matrix_engine"].throughput_ops_s
+            * 1.25,
+            Stage.GLOBAL_BA: design.blocks["ba_matrix_engine"].throughput_ops_s
+            * 1.25,
+            Stage.TRACKING: design.blocks["tracking_solver"].throughput_ops_s
+            * 4.0,
+        },
+        power_overhead_w=design.total_power_w,
+        weight_overhead_g=75.0,
+        integration_cost="Medium",
+        fabrication_cost="Medium",
+    )
+
+
+def asic_profile() -> PlatformProfile:
+    """Navion-class 65 nm ASIC (Suleiman et al., 24 mW)."""
+    design = navion_asic()
+    return PlatformProfile(
+        name="ASIC",
+        stage_throughput_ops_s={
+            Stage.FEATURE_EXTRACTION: design.blocks[
+                "feature_front_end"
+            ].throughput_ops_s,
+            Stage.LOCAL_BA: design.blocks["ba_matrix_engine"].throughput_ops_s
+            * 1.25,
+            Stage.GLOBAL_BA: design.blocks["ba_matrix_engine"].throughput_ops_s
+            * 1.25,
+            Stage.TRACKING: design.blocks["tracking_solver"].throughput_ops_s
+            * 4.0,
+        },
+        power_overhead_w=design.total_power_w,
+        weight_overhead_g=20.0,
+        integration_cost="High",
+        fabrication_cost="High",
+    )
+
+
+def all_profiles() -> List[PlatformProfile]:
+    return [rpi4_profile(), tx2_profile(), fpga_profile(), asic_profile()]
+
+
+# --- Figure 17 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SequenceSpeedup:
+    """One Figure 17 bar: a platform's speedup over RPi on one sequence."""
+
+    sequence: str
+    platform: str
+    total_speedup: float
+    stage_speedup: Dict[Stage, float]
+    stage_time_share: Dict[Stage, float]
+
+
+@dataclass
+class Figure17Study:
+    """Per-sequence speedups plus geometric means (Figure 17)."""
+
+    speedups: List[SequenceSpeedup] = field(default_factory=list)
+
+    def geomean(self, platform: str) -> float:
+        values = [s.total_speedup for s in self.speedups if s.platform == platform]
+        if not values:
+            raise KeyError(f"no speedups recorded for platform {platform!r}")
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def for_sequence(self, sequence: str, platform: str) -> SequenceSpeedup:
+        for entry in self.speedups:
+            if entry.sequence == sequence and entry.platform == platform:
+                return entry
+        raise KeyError(f"no entry for {sequence}/{platform}")
+
+
+def figure17_study(
+    results: List[SlamRunResult],
+    platforms: Optional[List[PlatformProfile]] = None,
+) -> Figure17Study:
+    """Compute Figure 17 from executed SLAM runs.
+
+    ``results`` come from :class:`repro.slam.pipeline.SlamPipeline` runs on
+    the EuRoC-like sequences; the baseline is always the RPi profile.
+    """
+    if not results:
+        raise ValueError("need at least one SLAM run result")
+    if platforms is None:
+        platforms = [tx2_profile(), fpga_profile(), asic_profile()]
+    baseline = rpi4_profile()
+    study = Figure17Study()
+    for result in results:
+        base_times = baseline.stage_times_s(result.breakdown)
+        base_total = sum(base_times.values())
+        for platform in platforms:
+            times = platform.stage_times_s(result.breakdown)
+            total = sum(times.values())
+            stage_speedup = {
+                stage: (base_times[stage] / times[stage]) if times[stage] > 0 else 1.0
+                for stage in Stage
+            }
+            stage_share = {
+                stage: times[stage] / total for stage in Stage
+            }
+            study.speedups.append(
+                SequenceSpeedup(
+                    sequence=result.sequence_name,
+                    platform=platform.name,
+                    total_speedup=base_total / total,
+                    stage_speedup=stage_speedup,
+                    stage_time_share=stage_share,
+                )
+            )
+    return study
+
+
+# --- Table 5 ---------------------------------------------------------------------
+
+#: The paper's Section 5.2 arithmetic constants.
+SMALL_DRONE_TOTAL_POWER_W = 50.0
+LARGE_DRONE_TOTAL_POWER_W = 140.0
+BASELINE_FLIGHT_TIME_MIN = 15.0
+SMALL_DRONE_WEIGHT_G = 500.0
+LARGE_DRONE_WEIGHT_G = 2000.0
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One column of Table 5 (platform costs for SLAM)."""
+
+    platform: str
+    slam_speedup: float
+    power_overhead_w: float
+    weight_overhead_g: float
+    integration_cost: str
+    fabrication_cost: str
+    gained_flight_time_small_min: float
+    gained_flight_time_large_min: float
+
+
+def _weight_power_delta_w(
+    weight_delta_g: float, drone_weight_g: float, total_power_w: float
+) -> float:
+    """Propulsion-power change from a weight change (P ~ W^1.5 linearized)."""
+    return 1.5 * total_power_w * weight_delta_g / drone_weight_g
+
+
+def _gained_minutes(
+    power_delta_w: float, total_power_w: float, flight_time_min: float
+) -> float:
+    """The paper's Delta_t ~ -(DeltaP / P) x t approximation."""
+    return -power_delta_w / total_power_w * flight_time_min
+
+
+def table5(
+    study: Figure17Study,
+    platforms: Optional[List[PlatformProfile]] = None,
+) -> List[Table5Row]:
+    """Reproduce Table 5 using the paper's own arithmetic.
+
+    Semantics (matching the paper's Section 5.2 text):
+
+    * TX2 is priced against the RPi baseline — adding it costs +8 W plus the
+      extra weight's propulsion power, hence *negative* gained flight time.
+    * FPGA and ASIC are priced against the 10 W CPU/GPU class they replace
+      ("moving from CPU/GPU to FPGA... ~10/50 x 15 min"), power-only as in
+      the paper's arithmetic.
+    """
+    if platforms is None:
+        platforms = all_profiles()
+    by_name = {p.name: p for p in platforms}
+    if "RPi" not in by_name or "TX2" not in by_name:
+        raise ValueError("Table 5 requires at least RPi and TX2 profiles")
+    rpi = by_name["RPi"]
+    tx2 = by_name["TX2"]
+    rows = []
+    for platform in platforms:
+        if platform.name == "RPi":
+            speedup = 1.0
+            small = large = 0.0
+        elif platform.name == "TX2":
+            speedup = study.geomean("TX2")
+            power_delta = platform.power_overhead_w - rpi.power_overhead_w
+            weight_delta = platform.weight_overhead_g - rpi.weight_overhead_g
+            small = _gained_minutes(
+                power_delta
+                + _weight_power_delta_w(
+                    weight_delta, SMALL_DRONE_WEIGHT_G, SMALL_DRONE_TOTAL_POWER_W
+                ),
+                SMALL_DRONE_TOTAL_POWER_W,
+                BASELINE_FLIGHT_TIME_MIN,
+            )
+            large = _gained_minutes(
+                power_delta
+                + _weight_power_delta_w(
+                    weight_delta, LARGE_DRONE_WEIGHT_G, LARGE_DRONE_TOTAL_POWER_W
+                ),
+                LARGE_DRONE_TOTAL_POWER_W,
+                BASELINE_FLIGHT_TIME_MIN,
+            )
+        else:
+            speedup = study.geomean(platform.name)
+            power_delta = platform.power_overhead_w - tx2.power_overhead_w
+            small = _gained_minutes(
+                power_delta, SMALL_DRONE_TOTAL_POWER_W, BASELINE_FLIGHT_TIME_MIN
+            )
+            large = _gained_minutes(
+                power_delta, LARGE_DRONE_TOTAL_POWER_W, BASELINE_FLIGHT_TIME_MIN
+            )
+        rows.append(
+            Table5Row(
+                platform=platform.name,
+                slam_speedup=speedup,
+                power_overhead_w=platform.power_overhead_w,
+                weight_overhead_g=platform.weight_overhead_g,
+                integration_cost=platform.integration_cost,
+                fabrication_cost=platform.fabrication_cost,
+                gained_flight_time_small_min=small,
+                gained_flight_time_large_min=large,
+            )
+        )
+    return rows
+
+
+def best_platform(rows: List[Table5Row]) -> Table5Row:
+    """The paper's conclusion: pick the best cost-effectiveness tradeoff.
+
+    ASIC matches FPGA's flight-time gain but at extreme integration and
+    fabrication cost; TX2 loses flight time — FPGA wins.
+    """
+    if not rows:
+        raise ValueError("no rows to choose from")
+    cost_rank = {"Low": 0, "Medium": 1, "High": 2}
+
+    def score(row: Table5Row) -> tuple:
+        return (
+            -row.gained_flight_time_small_min,
+            cost_rank.get(row.integration_cost, 3)
+            + cost_rank.get(row.fabrication_cost, 3),
+        )
+
+    # Among platforms within 0.5 min of the best gain, prefer lower cost.
+    best_gain = max(r.gained_flight_time_small_min for r in rows)
+    contenders = [
+        r for r in rows if r.gained_flight_time_small_min >= best_gain - 0.5
+    ]
+    return min(contenders, key=lambda r: cost_rank.get(r.integration_cost, 3)
+               + cost_rank.get(r.fabrication_cost, 3))

@@ -1,0 +1,26 @@
+"""On-board sensor models at Table 2a data rates."""
+
+from repro.sensors.barometer import BARO_RATE_RANGE_HZ, Barometer
+from repro.sensors.gps import GPS_RATE_RANGE_HZ, Gps, GpsUnavailableError
+from repro.sensors.imu import IMU_RATE_RANGE_HZ, Imu
+from repro.sensors.magnetometer import MAG_RATE_HZ, Magnetometer
+from repro.sensors.suite import (
+    TABLE2A_SENSOR_RATES_HZ,
+    SensorReadings,
+    SensorSuite,
+)
+
+__all__ = [
+    "BARO_RATE_RANGE_HZ",
+    "Barometer",
+    "GPS_RATE_RANGE_HZ",
+    "Gps",
+    "GpsUnavailableError",
+    "IMU_RATE_RANGE_HZ",
+    "Imu",
+    "MAG_RATE_HZ",
+    "Magnetometer",
+    "TABLE2A_SENSOR_RATES_HZ",
+    "SensorReadings",
+    "SensorSuite",
+]

@@ -1,0 +1,58 @@
+"""Barometric altimeter model (Table 2a: 10-20 Hz)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.physics import constants
+from repro.physics.rigid_body import QuadcopterState
+
+BARO_RATE_RANGE_HZ = (10.0, 20.0)
+
+
+@dataclass
+class Barometer:
+    """Pressure altimeter reporting altitude above the takeoff point."""
+
+    rate_hz: float = 20.0
+    noise_m: float = 0.3
+    bias_m: float = 0.0
+    seed: int = 2
+    samples: int = field(default=0)
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.rate_hz <= 1000.0:
+            raise ValueError(f"barometer rate out of range: {self.rate_hz} Hz")
+        if self.noise_m < 0:
+            raise ValueError("noise cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def sample(self, state: QuadcopterState) -> float:
+        """Altitude measurement (m) with noise and bias."""
+        self.samples += 1
+        return (
+            float(state.position_m[2])
+            + self.bias_m
+            + float(self._rng.normal(0.0, self.noise_m))
+        )
+
+    def pressure_pa(self, state: QuadcopterState) -> float:
+        """Raw pressure reading (Pa) — what the sensor physically measures."""
+        altitude = self.sample(state)
+        return constants.SEA_LEVEL_PRESSURE_PA * (
+            1.0
+            - constants.TEMPERATURE_LAPSE_RATE_K_M
+            * altitude
+            / constants.SEA_LEVEL_TEMPERATURE_K
+        ) ** 5.2561
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.samples = 0

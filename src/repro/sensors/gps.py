@@ -1,0 +1,60 @@
+"""GPS receiver model (Table 2a: 1-40 Hz)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.physics.rigid_body import QuadcopterState
+
+GPS_RATE_RANGE_HZ = (1.0, 40.0)
+
+
+@dataclass
+class Gps:
+    """Position fix with horizontal noise and optional dropout (indoor)."""
+
+    rate_hz: float = 10.0
+    horizontal_noise_m: float = 1.2
+    vertical_noise_m: float = 2.5
+    available: bool = True
+    seed: int = 3
+    samples: int = field(default=0)
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not GPS_RATE_RANGE_HZ[0] <= self.rate_hz <= GPS_RATE_RANGE_HZ[1]:
+            raise ValueError(
+                f"GPS rate {self.rate_hz} Hz outside {GPS_RATE_RANGE_HZ}"
+            )
+        if self.horizontal_noise_m < 0 or self.vertical_noise_m < 0:
+            raise ValueError("noise cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def sample(self, state: QuadcopterState) -> np.ndarray:
+        """Position fix (m, local frame).  Raises if the fix is unavailable
+        (e.g. indoor flight) — callers must handle GPS-denied conditions."""
+        if not self.available:
+            raise GpsUnavailableError("no GPS fix (indoor or denied environment)")
+        noise = np.array(
+            [
+                self._rng.normal(0.0, self.horizontal_noise_m),
+                self._rng.normal(0.0, self.horizontal_noise_m),
+                self._rng.normal(0.0, self.vertical_noise_m),
+            ]
+        )
+        self.samples += 1
+        return state.position_m + noise
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.samples = 0
+
+
+class GpsUnavailableError(RuntimeError):
+    """Raised when a GPS fix is requested in a denied environment."""

@@ -1,0 +1,82 @@
+"""Inertial measurement unit model (accelerometer + gyroscope).
+
+Table 2a: accelerometer and gyroscope stream at 100-200 Hz.  The model adds
+bias, white noise, and gravity/specific-force physics so the EKF has
+something honest to fuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.physics import constants
+from repro.physics.rigid_body import QuadcopterState
+
+IMU_RATE_RANGE_HZ = (100.0, 200.0)
+
+
+@dataclass
+class Imu:
+    """6-axis IMU producing body-frame specific force and angular rate."""
+
+    rate_hz: float = 200.0
+    accel_noise_m_s2: float = 0.10
+    gyro_noise_rad_s: float = 0.005
+    accel_bias_m_s2: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    gyro_bias_rad_s: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    seed: int = 1
+    samples: int = field(default=0)
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _last_velocity: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.rate_hz <= 10_000.0:
+            raise ValueError(f"IMU rate out of range: {self.rate_hz} Hz")
+        if self.accel_noise_m_s2 < 0 or self.gyro_noise_rad_s < 0:
+            raise ValueError("noise densities cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+        self._last_velocity = None
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def sample(self, state: QuadcopterState, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (accel_body m/s^2, gyro_body rad/s) for the current state.
+
+        The accelerometer measures specific force: world acceleration minus
+        gravity, rotated into the body frame.  World acceleration is
+        differentiated from consecutive velocities.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        velocity = state.velocity_m_s
+        if self._last_velocity is None:
+            accel_world = np.zeros(3)
+        else:
+            accel_world = (velocity - self._last_velocity) / dt
+        self._last_velocity = velocity.copy()
+
+        rotation = state.rotation
+        specific_force_world = accel_world + np.array(
+            [0.0, 0.0, constants.GRAVITY_M_S2]
+        )
+        accel_body = rotation.T @ specific_force_world
+        gyro_body = state.angular_velocity_rad_s.copy()
+
+        accel_body += np.asarray(self.accel_bias_m_s2) + self._rng.normal(
+            0.0, self.accel_noise_m_s2, 3
+        )
+        gyro_body += np.asarray(self.gyro_bias_rad_s) + self._rng.normal(
+            0.0, self.gyro_noise_rad_s, 3
+        )
+        self.samples += 1
+        return accel_body, gyro_body
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._last_velocity = None
+        self.samples = 0

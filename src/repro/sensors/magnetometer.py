@@ -1,0 +1,53 @@
+"""Magnetometer model (Table 2a: 10 Hz)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.physics.rigid_body import QuadcopterState
+
+MAG_RATE_HZ = 10.0
+
+
+@dataclass
+class Magnetometer:
+    """Heading sensor with noise and hard-iron bias."""
+
+    rate_hz: float = MAG_RATE_HZ
+    noise_rad: float = 0.02
+    hard_iron_bias_rad: float = 0.0
+    seed: int = 4
+    samples: int = field(default=0)
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.rate_hz <= 1000.0:
+            raise ValueError(f"magnetometer rate out of range: {self.rate_hz} Hz")
+        if self.noise_rad < 0:
+            raise ValueError("noise cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def sample(self, state: QuadcopterState) -> float:
+        """Yaw measurement (rad), wrapped to (-pi, pi]."""
+        yaw = float(state.euler_rad[2])
+        measured = (
+            yaw + self.hard_iron_bias_rad + float(self._rng.normal(0.0, self.noise_rad))
+        )
+        self.samples += 1
+        return (measured + math.pi) % (2.0 * math.pi) - math.pi
+
+    def field_vector(self, state: QuadcopterState) -> np.ndarray:
+        """Body-frame unit field vector — the raw quantity a magnetometer reads."""
+        yaw = self.sample(state)
+        return np.array([math.cos(yaw), -math.sin(yaw), 0.0])
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.samples = 0

@@ -1,0 +1,58 @@
+"""Flight simulation: multirate scheduler, closed-loop simulator, missions,
+power traces (Figure 16), and telemetry."""
+
+from repro.sim.clock import MultirateScheduler, ScheduledTask
+from repro.sim.missions import (
+    Mission,
+    MissionPhase,
+    PhaseKind,
+    figure16_mission,
+    hover_mission,
+    survey_mission,
+    waypoint_mission,
+)
+from repro.sim.power_trace import (
+    OSCILLOSCOPE_RATE_HZ,
+    RPI_AUTOPILOT_SLAM_FLYING_W,
+    RPI_AUTOPILOT_SLAM_IDLE_W,
+    RPI_AUTOPILOT_W,
+    RPI_SLAM_PEAK_W,
+    USB_METER_RATE_HZ,
+    PowerPhase,
+    PowerTrace,
+    figure16a_trace,
+    figure16b_trace,
+    rpi_power_phases,
+    synthesize_phased_trace,
+)
+from repro.sim.simulator import DroneModel, FlightSimulator, SimSample
+from repro.sim.telemetry import TelemetryLog, TelemetryRecord
+
+__all__ = [
+    "MultirateScheduler",
+    "ScheduledTask",
+    "Mission",
+    "MissionPhase",
+    "PhaseKind",
+    "figure16_mission",
+    "hover_mission",
+    "survey_mission",
+    "waypoint_mission",
+    "OSCILLOSCOPE_RATE_HZ",
+    "RPI_AUTOPILOT_SLAM_FLYING_W",
+    "RPI_AUTOPILOT_SLAM_IDLE_W",
+    "RPI_AUTOPILOT_W",
+    "RPI_SLAM_PEAK_W",
+    "USB_METER_RATE_HZ",
+    "PowerPhase",
+    "PowerTrace",
+    "figure16a_trace",
+    "figure16b_trace",
+    "rpi_power_phases",
+    "synthesize_phased_trace",
+    "DroneModel",
+    "FlightSimulator",
+    "SimSample",
+    "TelemetryLog",
+    "TelemetryRecord",
+]

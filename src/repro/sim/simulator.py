@@ -1,0 +1,299 @@
+"""Closed-loop flight simulator.
+
+Couples the 6-DOF rigid body, the sensor suite, the EKF, the hierarchical
+inner-loop controller, the electrical power model, and the LiPo battery into
+one steppable system — the software stand-in for the paper's physical test
+drone.
+
+The electrical model is the same momentum-theory chain the design-space
+equations use, so simulated power traces (Figure 16b) and the Equations 1-7
+predictions agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.control.cascade import HierarchicalController
+from repro.control.estimation import InsEkf
+from repro.physics import constants
+from repro.physics.battery_model import BatteryDepletedError, LipoBattery
+from repro.physics.environment import Environment, Wind
+from repro.physics.propeller import (
+    hover_electrical_power_w,
+    max_propeller_inch_for_wheelbase,
+)
+from repro.physics.rigid_body import QuadcopterBody, QuadcopterState
+from repro.sensors.suite import SensorSuite
+
+
+@dataclass(frozen=True)
+class DroneModel:
+    """Physical parameters of the simulated airframe."""
+
+    mass_kg: float
+    wheelbase_mm: float
+    battery_cells: int
+    battery_capacity_mah: float
+    compute_power_w: float = 3.0
+    sensors_power_w: float = 1.0
+    twr: float = constants.MIN_FLYABLE_TWR
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError(f"mass must be positive, got {self.mass_kg}")
+        if self.wheelbase_mm <= 0:
+            raise ValueError("wheelbase must be positive")
+        if self.battery_cells <= 0 or self.battery_capacity_mah <= 0:
+            raise ValueError("battery configuration must be positive")
+        if self.twr < 1.0:
+            raise ValueError(f"TWR below 1 cannot fly, got {self.twr}")
+
+    @property
+    def arm_length_m(self) -> float:
+        return self.wheelbase_mm / 1000.0 / 2.0
+
+    @property
+    def propeller_inch(self) -> float:
+        return max_propeller_inch_for_wheelbase(self.wheelbase_mm)
+
+    @property
+    def max_thrust_per_motor_n(self) -> float:
+        return constants.grams_to_newtons(
+            self.twr * self.mass_kg * 1000.0 / 4.0
+        )
+
+    @classmethod
+    def from_design(cls, evaluation, compute_power_w: Optional[float] = None):
+        """Build a simulator model from a :class:`DesignEvaluation`."""
+        return cls(
+            mass_kg=evaluation.total_weight_g / 1000.0,
+            wheelbase_mm=evaluation.propeller_inch * 45.0,
+            battery_cells=int(
+                round(evaluation.battery_voltage_v / constants.LIPO_CELL_NOMINAL_V)
+            ),
+            battery_capacity_mah=evaluation.usable_energy_wh
+            / constants.LIPO_DRAIN_LIMIT
+            / evaluation.battery_voltage_v
+            * 1000.0,
+            compute_power_w=(
+                evaluation.compute_power_w
+                if compute_power_w is None
+                else compute_power_w
+            ),
+            sensors_power_w=evaluation.sensors_power_w,
+        )
+
+
+@dataclass
+class SimSample:
+    """One telemetry sample of the running simulation."""
+
+    time_s: float
+    position_m: np.ndarray
+    velocity_m_s: np.ndarray
+    euler_rad: np.ndarray
+    motor_thrusts_n: np.ndarray
+    electrical_power_w: float
+    battery_voltage_v: float
+    battery_soc: float
+
+
+class FlightSimulator:
+    """Steppable closed-loop drone simulation."""
+
+    def __init__(
+        self,
+        model: DroneModel,
+        physics_rate_hz: float = 500.0,
+        use_ekf: bool = False,
+        wind: Optional[Wind] = None,
+        environment: Optional[Environment] = None,
+        record_rate_hz: float = 50.0,
+    ):
+        if physics_rate_hz < 100.0:
+            raise ValueError(
+                f"physics rate below 100 Hz destabilizes the thrust loop: "
+                f"{physics_rate_hz}"
+            )
+        self.model = model
+        self.physics_rate_hz = physics_rate_hz
+        self.use_ekf = use_ekf
+        self.body = QuadcopterBody(
+            mass_kg=model.mass_kg,
+            arm_length_m=model.arm_length_m,
+            environment=environment or Environment(),
+            wind=wind,
+        )
+        self.controller = HierarchicalController(
+            mass_kg=model.mass_kg,
+            arm_length_m=model.arm_length_m,
+            inertia_kg_m2=self.body.inertia_kg_m2,
+            max_thrust_per_motor_n=model.max_thrust_per_motor_n,
+        )
+        self.sensors = SensorSuite()
+        self.ekf = InsEkf()
+        self.battery = LipoBattery(
+            cells=model.battery_cells,
+            capacity_mah=model.battery_capacity_mah,
+            c_rating=40.0,
+        )
+        self.time_s = 0.0
+        self.samples: List[SimSample] = []
+        self.depleted = False
+        self._record_period_s = 1.0 / record_rate_hz
+        self._next_record_s = 0.0
+        self._hover_eff = constants.HOVER_OVERALL_EFFICIENCY
+        self._last_current_a = 0.0
+
+    # -- target passthrough ------------------------------------------------------
+
+    def goto(self, position_m, yaw_rad: float = 0.0) -> None:
+        self.controller.set_position_target(np.asarray(position_m, float), yaw_rad)
+
+    def set_velocity(self, velocity_m_s, yaw_rad: float = 0.0) -> None:
+        self.controller.set_velocity_target(np.asarray(velocity_m_s, float), yaw_rad)
+
+    def inject_position_fix(self, position_m, noise_m: float = 0.05) -> None:
+        """Feed an external position estimate (e.g. a SLAM pose) to the EKF.
+
+        This is how GPS-denied flight stays bounded: the outer loop's SLAM
+        produces poses that correct the inertial drift — the integration the
+        paper's drone performs between its SLAM stack and the autopilot.
+        """
+        if not self.use_ekf:
+            raise RuntimeError("position fixes require the EKF (use_ekf=True)")
+        if noise_m <= 0:
+            raise ValueError(f"noise must be positive, got {noise_m}")
+        original = self.ekf.gps_noise_m
+        self.ekf.gps_noise_m = noise_m
+        try:
+            self.ekf.update_gps(np.asarray(position_m, dtype=float))
+        finally:
+            self.ekf.gps_noise_m = original
+
+    # -- stepping -----------------------------------------------------------------
+
+    def electrical_power_w(self, motor_thrusts_n: np.ndarray) -> float:
+        """Instantaneous electrical power (W) at the given rotor thrusts."""
+        propulsion = sum(
+            hover_electrical_power_w(
+                max(0.0, float(t)),
+                self.model.propeller_inch,
+                figure_of_merit=self._hover_eff,
+                drive_efficiency=1.0,
+            )
+            for t in motor_thrusts_n
+        )
+        return propulsion + self.model.compute_power_w + self.model.sensors_power_w
+
+    def step(self) -> None:
+        """Advance one physics tick: sense -> estimate -> control -> actuate."""
+        dt = 1.0 / self.physics_rate_hz
+        self.time_s += dt
+        state = self.body.state
+
+        readings = self.sensors.poll(state, dt)
+        if self.use_ekf:
+            if readings.imu_fired:
+                self.ekf.predict(
+                    readings.accel_body_m_s2,
+                    readings.gyro_rad_s,
+                    self.sensors.imu.period_s,
+                )
+            if readings.gps_position_m is not None:
+                self.ekf.update_gps(readings.gps_position_m)
+            if readings.baro_altitude_m is not None:
+                self.ekf.update_barometer(readings.baro_altitude_m)
+            if readings.mag_yaw_rad is not None:
+                self.ekf.update_magnetometer(readings.mag_yaw_rad)
+            estimated = self._estimated_state(state)
+        else:
+            estimated = state
+
+        thrusts = self.controller.tick(estimated, dt)
+        # Voltage sag limits available thrust: rotor speed tops out at
+        # Kv * V, and thrust goes as speed squared — a tired pack flies
+        # noticeably softer (the end-of-flight weakness every pilot knows).
+        voltage_ratio = self.battery.terminal_voltage_v(
+            self._last_current_a
+        ) / (self.battery.cells * constants.LIPO_CELL_NOMINAL_V * 1.135)
+        thrust_ceiling = self.model.max_thrust_per_motor_n * min(
+            1.0, voltage_ratio
+        ) ** 2
+        thrusts = np.minimum(thrusts, thrust_ceiling)
+        self.body.step(thrusts, dt)
+
+        power = self.electrical_power_w(thrusts)
+        current = power / max(1.0, self.battery.terminal_voltage_v(0.0))
+        self._last_current_a = current
+        try:
+            self.battery.draw(
+                min(current, self.battery.max_continuous_current_a), dt
+            )
+        except BatteryDepletedError:
+            self.depleted = True
+
+        if self.time_s + 1e-12 >= self._next_record_s:
+            self._next_record_s = self.time_s + self._record_period_s
+            self.samples.append(
+                SimSample(
+                    time_s=self.time_s,
+                    position_m=state.position_m.copy(),
+                    velocity_m_s=state.velocity_m_s.copy(),
+                    euler_rad=state.euler_rad.copy(),
+                    motor_thrusts_n=thrusts.copy(),
+                    electrical_power_w=power,
+                    battery_voltage_v=self.battery.terminal_voltage_v(current),
+                    battery_soc=self.battery.state_of_charge,
+                )
+            )
+
+    def run_for(self, duration_s: float) -> None:
+        """Step the simulation for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        steps = int(round(duration_s * self.physics_rate_hz))
+        for _ in range(steps):
+            self.step()
+
+    def _estimated_state(self, truth: QuadcopterState) -> QuadcopterState:
+        """EKF estimate packaged as a state for the controller.
+
+        Angular velocity comes straight from the gyro path (truth here) —
+        rate feedback is not part of the 9-state estimate, matching how
+        flight stacks feed raw gyro to the rate PIDs.
+        """
+        from repro.physics.rigid_body import quaternion_from_euler
+
+        estimated = QuadcopterState(
+            position_m=self.ekf.position_m.copy(),
+            velocity_m_s=self.ekf.velocity_m_s.copy(),
+            quaternion=quaternion_from_euler(*self.ekf.attitude_rad),
+            angular_velocity_rad_s=truth.angular_velocity_rad_s.copy(),
+        )
+        return estimated
+
+    # -- derived metrics -----------------------------------------------------------
+
+    def average_power_w(self, since_s: float = 0.0) -> float:
+        """Mean recorded electrical power after ``since_s``."""
+        powers = [s.electrical_power_w for s in self.samples if s.time_s >= since_s]
+        if not powers:
+            raise ValueError("no samples recorded in the requested window")
+        return float(np.mean(powers))
+
+    def hover_position_error_m(self, target_m: np.ndarray, since_s: float) -> float:
+        """RMS position error against ``target_m`` after ``since_s``."""
+        target = np.asarray(target_m, dtype=float)
+        errors = [
+            float(np.linalg.norm(s.position_m - target))
+            for s in self.samples
+            if s.time_s >= since_s
+        ]
+        if not errors:
+            raise ValueError("no samples recorded in the requested window")
+        return float(np.sqrt(np.mean(np.square(errors))))

@@ -1,0 +1,107 @@
+"""Telemetry recording and downlink summaries.
+
+The communication layer "delivers stats to the ground station" (Section
+2.1.3-B).  :class:`TelemetryLog` turns simulator samples into the compact
+records a 915 MHz downlink would carry, plus mission-level summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.simulator import FlightSimulator, SimSample
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One downlinked status record (the MAVLink-heartbeat class of data)."""
+
+    time_s: float
+    altitude_m: float
+    ground_speed_m_s: float
+    battery_soc: float
+    battery_voltage_v: float
+    power_w: float
+
+    def encode(self) -> bytes:
+        """Serialize as a fixed-width record (24 bytes of payload)."""
+        values = np.array(
+            [
+                self.time_s,
+                self.altitude_m,
+                self.ground_speed_m_s,
+                self.battery_soc,
+                self.battery_voltage_v,
+                self.power_w,
+            ],
+            dtype=np.float32,
+        )
+        return values.tobytes()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "TelemetryRecord":
+        values = np.frombuffer(payload, dtype=np.float32)
+        if values.size != 6:
+            raise ValueError(f"telemetry payload must hold 6 floats, got {values.size}")
+        return cls(
+            time_s=float(values[0]),
+            altitude_m=float(values[1]),
+            ground_speed_m_s=float(values[2]),
+            battery_soc=float(values[3]),
+            battery_voltage_v=float(values[4]),
+            power_w=float(values[5]),
+        )
+
+
+class TelemetryLog:
+    """Accumulates downlink records from simulator samples."""
+
+    def __init__(self, downlink_rate_hz: float = 4.0):
+        if downlink_rate_hz <= 0:
+            raise ValueError(f"downlink rate must be positive: {downlink_rate_hz}")
+        self.downlink_rate_hz = downlink_rate_hz
+        self.records: List[TelemetryRecord] = []
+        self._next_due_s = 0.0
+
+    def ingest(self, sample: SimSample) -> bool:
+        """Record the sample if the downlink period elapsed; returns whether sent."""
+        if sample.time_s + 1e-12 < self._next_due_s:
+            return False
+        self._next_due_s = sample.time_s + 1.0 / self.downlink_rate_hz
+        self.records.append(
+            TelemetryRecord(
+                time_s=sample.time_s,
+                altitude_m=float(sample.position_m[2]),
+                ground_speed_m_s=float(np.linalg.norm(sample.velocity_m_s[0:2])),
+                battery_soc=sample.battery_soc,
+                battery_voltage_v=sample.battery_voltage_v,
+                power_w=sample.electrical_power_w,
+            )
+        )
+        return True
+
+    def ingest_all(self, sim: FlightSimulator) -> int:
+        """Ingest every recorded simulator sample; returns records sent."""
+        sent = 0
+        for sample in sim.samples:
+            if self.ingest(sample):
+                sent += 1
+        return sent
+
+    def summary(self) -> Dict[str, float]:
+        """Mission summary a ground station would display."""
+        if not self.records:
+            raise ValueError("no telemetry records ingested")
+        altitudes = [r.altitude_m for r in self.records]
+        powers = [r.power_w for r in self.records]
+        return {
+            "duration_s": self.records[-1].time_s - self.records[0].time_s,
+            "max_altitude_m": max(altitudes),
+            "mean_power_w": float(np.mean(powers)),
+            "peak_power_w": max(powers),
+            "final_soc": self.records[-1].battery_soc,
+            "records": float(len(self.records)),
+        }

@@ -1,0 +1,237 @@
+"""Synthetic EuRoC-like micro-aerial-vehicle dataset.
+
+The paper runs ORB-SLAM on the EuRoC MAV dataset's eleven sequences
+(MH01-MH05 in an industrial machine hall, V101-V203 in a Vicon room).  The
+raw imagery is not redistributable and needs no camera pipeline for our
+purposes, so this module synthesizes geometrically faithful stand-ins:
+
+* a 3D landmark cloud for the environment,
+* a smooth figure-flight trajectory with per-sequence speed/texture
+  difficulty matching the EuRoC easy/medium/difficult grading,
+* per-frame landmark observations projected through a pinhole camera with
+  pixel noise, plus spurious detections.
+
+Downstream, the SLAM pipeline consumes only (keypoints, descriptors, ground
+truth) — exactly what the real pipeline extracts from real frames.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+class Difficulty(enum.Enum):
+    EASY = "easy"
+    MEDIUM = "medium"
+    DIFFICULT = "difficult"
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """Static description of one EuRoC-like sequence."""
+
+    name: str
+    environment: str  # "machine_hall" or "vicon_room"
+    difficulty: Difficulty
+    duration_s: float
+    mean_speed_m_s: float
+    landmark_count: int
+    pixel_noise: float
+
+
+#: The eleven EuRoC sequences with difficulty grading mirroring the dataset.
+EUROC_SEQUENCES: Dict[str, SequenceSpec] = {
+    "MH01": SequenceSpec("MH01", "machine_hall", Difficulty.EASY, 18.0, 0.6, 900, 0.4),
+    "MH02": SequenceSpec("MH02", "machine_hall", Difficulty.EASY, 15.0, 0.7, 880, 0.4),
+    "MH03": SequenceSpec("MH03", "machine_hall", Difficulty.MEDIUM, 13.0, 1.4, 760, 0.6),
+    "MH04": SequenceSpec("MH04", "machine_hall", Difficulty.DIFFICULT, 10.0, 2.0, 600, 0.9),
+    "MH05": SequenceSpec("MH05", "machine_hall", Difficulty.DIFFICULT, 11.0, 1.9, 620, 0.9),
+    "V101": SequenceSpec("V101", "vicon_room", Difficulty.EASY, 14.0, 0.5, 700, 0.4),
+    "V102": SequenceSpec("V102", "vicon_room", Difficulty.MEDIUM, 12.0, 1.2, 620, 0.6),
+    "V103": SequenceSpec("V103", "vicon_room", Difficulty.DIFFICULT, 10.0, 1.8, 520, 0.9),
+    "V201": SequenceSpec("V201", "vicon_room", Difficulty.EASY, 14.0, 0.6, 680, 0.4),
+    "V202": SequenceSpec("V202", "vicon_room", Difficulty.MEDIUM, 12.0, 1.3, 600, 0.6),
+    "V203": SequenceSpec("V203", "vicon_room", Difficulty.DIFFICULT, 10.0, 2.1, 500, 1.0),
+}
+
+FRAME_RATE_HZ = 20.0
+IMAGE_WIDTH = 752
+IMAGE_HEIGHT = 480
+DESCRIPTOR_BYTES = 32  # ORB descriptors are 256-bit
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """Pinhole camera (EuRoC-like intrinsics)."""
+
+    fx: float = 458.0
+    fy: float = 457.0
+    cx: float = IMAGE_WIDTH / 2.0
+    cy: float = IMAGE_HEIGHT / 2.0
+    width: int = IMAGE_WIDTH
+    height: int = IMAGE_HEIGHT
+
+    def project(self, point_camera: np.ndarray) -> Tuple[float, float]:
+        """Project a camera-frame 3D point to pixels; z must be positive."""
+        x, y, z = point_camera
+        if z <= 1e-6:
+            raise ValueError(f"point behind camera: z={z}")
+        return (self.fx * x / z + self.cx, self.fy * y / z + self.cy)
+
+    def in_view(self, u: float, v: float) -> bool:
+        return 0.0 <= u < self.width and 0.0 <= v < self.height
+
+
+@dataclass
+class Frame:
+    """One camera frame: observed landmark ids, pixels, and descriptors."""
+
+    index: int
+    timestamp_s: float
+    true_position_m: np.ndarray
+    true_yaw_rad: float
+    landmark_ids: np.ndarray      # (N,) int, -1 for spurious detections
+    keypoints_px: np.ndarray      # (N, 2) float
+    descriptors: np.ndarray       # (N, 32) uint8
+
+    @property
+    def observation_count(self) -> int:
+        return int(self.landmark_ids.size)
+
+
+def _yaw_rotation(yaw: float) -> np.ndarray:
+    c, s = math.cos(yaw), math.sin(yaw)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+@dataclass
+class SyntheticSequence:
+    """A fully generated sequence: landmarks, trajectory, frames on demand."""
+
+    spec: SequenceSpec
+    seed: int = 11
+    camera: CameraModel = field(default_factory=CameraModel)
+
+    def __post_init__(self) -> None:
+        # zlib.crc32, not hash(): str hashing is randomized per process and
+        # would make sequence generation unreproducible across runs.
+        name_code = zlib.crc32(self.spec.name.encode()) % 10_000
+        rng = np.random.default_rng(self.seed + name_code)
+        hall = self.spec.environment == "machine_hall"
+        extent = np.array([14.0, 10.0, 5.0]) if hall else np.array([6.0, 6.0, 3.0])
+        self.landmarks_m = rng.uniform(
+            low=-extent / 2.0, high=extent / 2.0, size=(self.spec.landmark_count, 3)
+        )
+        # Push landmarks outward so the camera orbits inside a shell.
+        radii = np.linalg.norm(self.landmarks_m[:, 0:2], axis=1, keepdims=True)
+        min_radius = 1.5
+        scale = np.maximum(1.0, min_radius / np.maximum(radii, 1e-6))
+        self.landmarks_m[:, 0:2] *= scale
+        self._descriptor_seeds = rng.integers(
+            0, 2**31 - 1, size=self.spec.landmark_count
+        )
+        self._rng = rng
+
+    @property
+    def frame_count(self) -> int:
+        return int(self.spec.duration_s * FRAME_RATE_HZ)
+
+    def true_pose(self, t: float) -> Tuple[np.ndarray, float]:
+        """Ground-truth (position, yaw) at time t: a lissajous-like orbit."""
+        radius = 3.0 if self.spec.environment == "machine_hall" else 1.8
+        omega = self.spec.mean_speed_m_s / radius
+        x = radius * math.cos(omega * t)
+        y = radius * math.sin(omega * t)
+        z = 1.2 + 0.4 * math.sin(0.5 * omega * t)
+        yaw = omega * t + math.pi / 2.0  # tangent heading
+        return np.array([x, y, z]), yaw
+
+    def descriptor_for(self, landmark_id: int, noise_bits: int = 0) -> np.ndarray:
+        """The canonical ORB-like descriptor of a landmark, with bit noise."""
+        if not 0 <= landmark_id < self.spec.landmark_count:
+            raise ValueError(f"landmark id out of range: {landmark_id}")
+        rng = np.random.default_rng(int(self._descriptor_seeds[landmark_id]))
+        descriptor = rng.integers(0, 256, size=DESCRIPTOR_BYTES, dtype=np.uint8)
+        if noise_bits > 0:
+            flip = self._rng.integers(0, DESCRIPTOR_BYTES * 8, size=noise_bits)
+            for bit in flip:
+                descriptor[bit // 8] ^= np.uint8(1 << (bit % 8))
+        return descriptor
+
+    def generate_frame(self, index: int) -> Frame:
+        """Render frame ``index``: visible landmarks plus spurious detections."""
+        if not 0 <= index < self.frame_count:
+            raise ValueError(
+                f"frame index {index} out of range [0, {self.frame_count})"
+            )
+        t = index / FRAME_RATE_HZ
+        position, yaw = self.true_pose(t)
+        rotation = _yaw_rotation(yaw)
+        # Camera looks along body +x; camera frame: z forward, x right, y down.
+        body_from_world = rotation.T
+        ids: List[int] = []
+        pixels: List[Tuple[float, float]] = []
+        descriptors: List[np.ndarray] = []
+        noise_bits = {"easy": 2, "medium": 5, "difficult": 10}[
+            self.spec.difficulty.value
+        ]
+        for landmark_id, landmark in enumerate(self.landmarks_m):
+            relative = body_from_world @ (landmark - position)
+            camera_point = np.array([-relative[1], -relative[2], relative[0]])
+            if camera_point[2] < 0.3 or camera_point[2] > 12.0:
+                continue
+            u, v = self.camera.project(camera_point)
+            if not self.camera.in_view(u, v):
+                continue
+            u += float(self._rng.normal(0.0, self.spec.pixel_noise))
+            v += float(self._rng.normal(0.0, self.spec.pixel_noise))
+            ids.append(landmark_id)
+            pixels.append((u, v))
+            descriptors.append(self.descriptor_for(landmark_id, noise_bits))
+        # Spurious detections: clutter that matching must reject.
+        spurious = int(0.05 * len(ids)) + 2
+        for _ in range(spurious):
+            ids.append(-1)
+            pixels.append(
+                (
+                    float(self._rng.uniform(0, self.camera.width)),
+                    float(self._rng.uniform(0, self.camera.height)),
+                )
+            )
+            descriptors.append(
+                self._rng.integers(0, 256, size=DESCRIPTOR_BYTES, dtype=np.uint8)
+            )
+        return Frame(
+            index=index,
+            timestamp_s=t,
+            true_position_m=position,
+            true_yaw_rad=yaw,
+            landmark_ids=np.asarray(ids, dtype=np.int64),
+            keypoints_px=np.asarray(pixels, dtype=float),
+            descriptors=np.asarray(descriptors, dtype=np.uint8),
+        )
+
+    def frames(self) -> Iterator[Frame]:
+        for index in range(self.frame_count):
+            yield self.generate_frame(index)
+
+
+def load_sequence(name: str, seed: int = 11) -> SyntheticSequence:
+    """Load a named EuRoC-like sequence (MH01-MH05, V101-V203)."""
+    key = name.strip().upper()
+    if key not in EUROC_SEQUENCES:
+        raise KeyError(
+            f"unknown sequence {name!r}; available: {sorted(EUROC_SEQUENCES)}"
+        )
+    return SyntheticSequence(spec=EUROC_SEQUENCES[key], seed=seed)
+
+
+def all_sequence_names() -> List[str]:
+    """The eleven sequence names in the paper's Figure 17 order."""
+    return list(EUROC_SEQUENCES.keys())

@@ -1,0 +1,226 @@
+"""Path planning over the SLAM map (outer-loop autonomy).
+
+The paper lists navigation, obstacle avoidance, and path planning as the
+tasks built on SLAM's output (Section 2.2).  This module closes that loop:
+the SLAM map's landmarks become an occupancy grid, and an A* planner finds
+collision-free paths through it — the outer-loop computation that feeds
+position targets to the inner loop (Figure 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class OccupancyGrid:
+    """A 2-D occupancy grid built from 3-D landmarks.
+
+    Landmarks within the flight altitude band mark their cell (plus an
+    inflation radius for the airframe) as occupied.
+    """
+
+    origin_m: np.ndarray
+    resolution_m: float
+    width: int
+    height: int
+    occupied: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.resolution_m <= 0:
+            raise ValueError(f"resolution must be positive: {self.resolution_m}")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.origin_m = np.asarray(self.origin_m, dtype=float)
+        if self.occupied is None:
+            self.occupied = np.zeros((self.height, self.width), dtype=bool)
+
+    def cell_of(self, position_m: np.ndarray) -> Tuple[int, int]:
+        """(row, col) of a world position; raises if outside the grid."""
+        delta = np.asarray(position_m, dtype=float)[0:2] - self.origin_m[0:2]
+        col = int(delta[0] / self.resolution_m)
+        row = int(delta[1] / self.resolution_m)
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise ValueError(
+                f"position {position_m} outside grid "
+                f"({self.width}x{self.height} @ {self.resolution_m} m)"
+            )
+        return row, col
+
+    def center_of(self, row: int, col: int) -> np.ndarray:
+        """World (x, y) of a cell center."""
+        return self.origin_m[0:2] + (
+            np.array([col, row], dtype=float) + 0.5
+        ) * self.resolution_m
+
+    def is_free(self, row: int, col: int) -> bool:
+        return not bool(self.occupied[row, col])
+
+    @property
+    def occupied_fraction(self) -> float:
+        return float(self.occupied.mean())
+
+    def mark_occupied(self, position_m: np.ndarray, inflation_m: float) -> None:
+        """Mark the cell at ``position_m`` and an inflation disk around it."""
+        try:
+            row, col = self.cell_of(position_m)
+        except ValueError:
+            return  # landmark outside the planning area
+        radius_cells = max(0, int(math.ceil(inflation_m / self.resolution_m)))
+        for dr in range(-radius_cells, radius_cells + 1):
+            for dc in range(-radius_cells, radius_cells + 1):
+                r, c = row + dr, col + dc
+                if 0 <= r < self.height and 0 <= c < self.width:
+                    if dr * dr + dc * dc <= radius_cells * radius_cells:
+                        self.occupied[r, c] = True
+
+
+def grid_from_landmarks(
+    landmarks_m: np.ndarray,
+    resolution_m: float = 0.5,
+    altitude_band_m: Tuple[float, float] = (0.5, 2.5),
+    inflation_m: float = 0.4,
+    margin_m: float = 2.0,
+) -> OccupancyGrid:
+    """Build an occupancy grid from SLAM map points / landmarks.
+
+    Only landmarks whose height falls inside ``altitude_band_m`` obstruct
+    the flight plane; each is inflated by the airframe radius.
+    """
+    landmarks_m = np.asarray(landmarks_m, dtype=float)
+    if landmarks_m.ndim != 2 or landmarks_m.shape[1] != 3:
+        raise ValueError("landmarks must be an (N, 3) array")
+    if altitude_band_m[0] >= altitude_band_m[1]:
+        raise ValueError(f"invalid altitude band {altitude_band_m}")
+    low = landmarks_m[:, 0:2].min(axis=0) - margin_m
+    high = landmarks_m[:, 0:2].max(axis=0) + margin_m
+    size = high - low
+    width = max(1, int(math.ceil(size[0] / resolution_m)))
+    height = max(1, int(math.ceil(size[1] / resolution_m)))
+    grid = OccupancyGrid(
+        origin_m=np.array([low[0], low[1], 0.0]),
+        resolution_m=resolution_m,
+        width=width,
+        height=height,
+    )
+    in_band = (landmarks_m[:, 2] >= altitude_band_m[0]) & (
+        landmarks_m[:, 2] <= altitude_band_m[1]
+    )
+    for landmark in landmarks_m[in_band]:
+        grid.mark_occupied(landmark, inflation_m)
+    return grid
+
+
+class PlanningError(RuntimeError):
+    """Raised when no collision-free path exists."""
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """An A* plan plus its cost accounting."""
+
+    waypoints_m: List[np.ndarray]
+    path_length_m: float
+    expanded_nodes: int
+    operations: int
+
+
+def plan_path(
+    grid: OccupancyGrid,
+    start_m: np.ndarray,
+    goal_m: np.ndarray,
+    altitude_m: float = 1.5,
+) -> PlanResult:
+    """A* over the occupancy grid; returns 3-D waypoints at ``altitude_m``.
+
+    8-connected grid with octile-distance heuristic (admissible), path
+    simplified by removing collinear cells.  Operation counts let the
+    platform models price planning as an outer-loop task.
+    """
+    start = grid.cell_of(start_m)
+    goal = grid.cell_of(goal_m)
+    if not grid.is_free(*start):
+        raise PlanningError(f"start cell {start} is occupied")
+    if not grid.is_free(*goal):
+        raise PlanningError(f"goal cell {goal} is occupied")
+
+    def heuristic(cell: Tuple[int, int]) -> float:
+        dr = abs(cell[0] - goal[0])
+        dc = abs(cell[1] - goal[1])
+        return max(dr, dc) + (math.sqrt(2.0) - 1.0) * min(dr, dc)
+
+    open_heap: List[Tuple[float, Tuple[int, int]]] = [(heuristic(start), start)]
+    g_cost: Dict[Tuple[int, int], float] = {start: 0.0}
+    parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {start: None}
+    expanded = 0
+    operations = 0
+    closed = set()
+    while open_heap:
+        _, cell = heapq.heappop(open_heap)
+        if cell in closed:
+            continue
+        closed.add(cell)
+        expanded += 1
+        if cell == goal:
+            break
+        row, col = cell
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if not (0 <= r < grid.height and 0 <= c < grid.width):
+                    continue
+                if not grid.is_free(r, c):
+                    continue
+                step = math.sqrt(2.0) if dr and dc else 1.0
+                tentative = g_cost[cell] + step
+                operations += 12
+                neighbor = (r, c)
+                if tentative < g_cost.get(neighbor, math.inf):
+                    g_cost[neighbor] = tentative
+                    parent[neighbor] = cell
+                    heapq.heappush(
+                        open_heap, (tentative + heuristic(neighbor), neighbor)
+                    )
+    else:
+        raise PlanningError(f"no path from {start} to {goal}")
+    if goal not in parent:
+        raise PlanningError(f"no path from {start} to {goal}")
+
+    cells: List[Tuple[int, int]] = []
+    cursor: Optional[Tuple[int, int]] = goal
+    while cursor is not None:
+        cells.append(cursor)
+        cursor = parent[cursor]
+    cells.reverse()
+    cells = _simplify(cells)
+    waypoints = [
+        np.append(grid.center_of(r, c), altitude_m) for r, c in cells
+    ]
+    length = g_cost[goal] * grid.resolution_m
+    return PlanResult(
+        waypoints_m=waypoints,
+        path_length_m=length,
+        expanded_nodes=expanded,
+        operations=operations,
+    )
+
+
+def _simplify(cells: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Drop collinear intermediate cells."""
+    if len(cells) <= 2:
+        return cells
+    simplified = [cells[0]]
+    for previous, current, following in zip(cells, cells[1:], cells[2:]):
+        direction_in = (current[0] - previous[0], current[1] - previous[1])
+        direction_out = (following[0] - current[0], following[1] - current[1])
+        if direction_in != direction_out:
+            simplified.append(current)
+    simplified.append(cells[-1])
+    return simplified

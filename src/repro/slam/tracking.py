@@ -1,0 +1,157 @@
+"""Camera tracking: motion-only pose optimization against the map.
+
+Given 3D-2D correspondences (map points -> pixels), refine the 4-DOF pose
+[x, y, z, yaw] by Gauss-Newton on the reprojection error — the 'tracking'
+thread of ORB-SLAM, run on every frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.slam.dataset import CameraModel
+
+HUBER_DELTA_PX = 5.0
+
+
+class TrackingLostError(RuntimeError):
+    """Raised when too few correspondences support a pose estimate."""
+
+
+def camera_point(
+    landmark_m: np.ndarray, position_m: np.ndarray, yaw_rad: float
+) -> np.ndarray:
+    """World landmark -> camera-frame point for a 4-DOF pose.
+
+    Matches the dataset's projection convention: the camera looks along the
+    body +x axis; camera frame is (right, down, forward).
+    """
+    c, s = math.cos(yaw_rad), math.sin(yaw_rad)
+    delta = landmark_m - position_m
+    # body = R_yaw^T * delta
+    bx = c * delta[0] + s * delta[1]
+    by = -s * delta[0] + c * delta[1]
+    bz = delta[2]
+    return np.array([-by, -bz, bx])
+
+
+def reprojection_residual(
+    landmark_m: np.ndarray,
+    pixel: Tuple[float, float],
+    position_m: np.ndarray,
+    yaw_rad: float,
+    camera: CameraModel,
+) -> np.ndarray:
+    """(predicted - observed) pixel residual; raises if behind camera."""
+    point = camera_point(landmark_m, position_m, yaw_rad)
+    u, v = camera.project(point)
+    return np.array([u - pixel[0], v - pixel[1]])
+
+
+def _pose_jacobian(
+    landmark_m: np.ndarray,
+    position_m: np.ndarray,
+    yaw_rad: float,
+    camera: CameraModel,
+) -> np.ndarray:
+    """2x4 Jacobian of the pixel residual w.r.t. [x, y, z, yaw] (numeric)."""
+    jacobian = np.zeros((2, 4))
+    base = reprojection_residual(
+        landmark_m, (0.0, 0.0), position_m, yaw_rad, camera
+    )
+    epsilon = 1e-6
+    for k in range(3):
+        perturbed = position_m.copy()
+        perturbed[k] += epsilon
+        res = reprojection_residual(
+            landmark_m, (0.0, 0.0), perturbed, yaw_rad, camera
+        )
+        jacobian[:, k] = (res - base) / epsilon
+    res = reprojection_residual(
+        landmark_m, (0.0, 0.0), position_m, yaw_rad + epsilon, camera
+    )
+    jacobian[:, 3] = (res - base) / epsilon
+    return jacobian
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Refined pose plus optimization diagnostics."""
+
+    position_m: np.ndarray
+    yaw_rad: float
+    inliers: int
+    final_rms_px: float
+    iterations: int
+    operations: int
+
+
+def track_pose(
+    landmarks_m: List[np.ndarray],
+    pixels: List[Tuple[float, float]],
+    initial_position_m: np.ndarray,
+    initial_yaw_rad: float,
+    camera: CameraModel,
+    max_iterations: int = 8,
+    min_correspondences: int = 8,
+) -> TrackingResult:
+    """Gauss-Newton motion-only pose refinement with Huber weighting."""
+    if len(landmarks_m) != len(pixels):
+        raise ValueError("landmarks and pixels must align")
+    if len(landmarks_m) < min_correspondences:
+        raise TrackingLostError(
+            f"only {len(landmarks_m)} correspondences; "
+            f"need {min_correspondences}"
+        )
+    position = np.asarray(initial_position_m, dtype=float).copy()
+    yaw = float(initial_yaw_rad)
+    operations = 0
+    rms = float("inf")
+    iterations_run = 0
+    for iteration in range(max_iterations):
+        normal = np.zeros((4, 4))
+        rhs = np.zeros(4)
+        total_sq = 0.0
+        used = 0
+        for landmark, pixel in zip(landmarks_m, pixels):
+            try:
+                residual = reprojection_residual(
+                    landmark, pixel, position, yaw, camera
+                )
+            except ValueError:
+                continue  # behind camera at this iterate
+            error = float(np.linalg.norm(residual))
+            weight = 1.0 if error <= HUBER_DELTA_PX else HUBER_DELTA_PX / error
+            jacobian = _pose_jacobian(landmark, position, yaw, camera)
+            normal += weight * jacobian.T @ jacobian
+            rhs -= weight * jacobian.T @ residual
+            total_sq += weight * error * error
+            used += 1
+            operations += 2 * 4 * 4 * 2 + 5 * 16  # J^T J + J^T r + projections
+        if used < min_correspondences:
+            raise TrackingLostError(
+                f"only {used} usable correspondences at iteration {iteration}"
+            )
+        try:
+            delta = np.linalg.solve(normal + 1e-9 * np.eye(4), rhs)
+        except np.linalg.LinAlgError as error:
+            raise TrackingLostError(f"singular normal equations: {error}")
+        operations += 4**3
+        position += delta[0:3]
+        yaw += float(delta[3])
+        rms = math.sqrt(total_sq / used)
+        iterations_run = iteration + 1
+        if float(np.linalg.norm(delta)) < 1e-6:
+            break
+    return TrackingResult(
+        position_m=position,
+        yaw_rad=yaw,
+        inliers=used,
+        final_rms_px=rms,
+        iterations=iterations_run,
+        operations=operations,
+    )

@@ -1,0 +1,35 @@
+"""Shared fixtures.
+
+Expensive artifacts (the synthetic catalog, a SLAM run, the interference
+study) are computed once per session and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.catalog import generate_catalog
+from repro.platforms.perf import run_interference_study
+from repro.slam.pipeline import run_slam
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The deterministic synthetic component census."""
+    return generate_catalog()
+
+
+@pytest.fixture(scope="session")
+def slam_mh01():
+    """A short MH01 pipeline run shared by SLAM and platform tests."""
+    return run_slam("MH01", max_frames=60)
+
+
+@pytest.fixture(scope="session")
+def interference():
+    """A reduced-size Figure 15 interference study.
+
+    40k instructions is the shortest steady-state length at which the LLC
+    eviction effect is reliably visible above the warmup residue.
+    """
+    return run_interference_study(trace_length=40_000)

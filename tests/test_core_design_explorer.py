@@ -1,0 +1,149 @@
+"""Unit tests: DroneDesign evaluation, Figure 10 sweeps, footprint."""
+
+import pytest
+
+from repro.components.compute import find_board
+from repro.components.esc import EscClass
+from repro.components.sensors import find_sensor
+from repro.core.design import DroneDesign
+from repro.core.equations import InfeasibleDesignError
+from repro.core.explorer import (
+    computation_footprint,
+    sweep_all_wheelbases,
+    sweep_wheelbase,
+)
+
+
+def design_450(**kwargs) -> DroneDesign:
+    defaults = dict(
+        wheelbase_mm=450.0, battery_cells=3, battery_capacity_mah=3000.0,
+        compute_power_w=3.0,
+    )
+    defaults.update(kwargs)
+    return DroneDesign(**defaults)
+
+
+class TestDroneDesign:
+    def test_evaluation_is_consistent(self):
+        evaluation = design_450().evaluate()
+        assert evaluation.total_weight_g > 500.0
+        assert evaluation.maneuver_power_w > evaluation.hover_power_w
+        assert evaluation.flight_time_min > evaluation.maneuver_flight_time_min
+        assert 0.0 < evaluation.compute_share_hover < 1.0
+        assert evaluation.compute_share_maneuver < evaluation.compute_share_hover
+
+    def test_3w_chip_under_5_percent(self):
+        """Paper: 3 W chips contribute <5% of total power (mid-size drones)."""
+        evaluation = design_450().evaluate()
+        assert evaluation.compute_share_hover < 0.06
+
+    def test_20w_chip_notable_share(self):
+        evaluation = design_450(compute_power_w=20.0).evaluate()
+        assert 0.10 < evaluation.compute_share_hover < 0.40
+
+    def test_concrete_board_overrides_numbers(self):
+        board = find_board("Jetson TX2")
+        design = design_450(board=board)
+        assert design.compute_power_w == board.power_w
+        assert design.compute_weight_g == board.weight_g
+
+    def test_external_sensor_adds_weight_and_power(self):
+        camera = find_sensor("Night Eagle 2")
+        with_camera = design_450(external_sensors=(camera,)).evaluate()
+        without = design_450().evaluate()
+        assert with_camera.total_weight_g > without.total_weight_g
+        assert with_camera.sensors_power_w > without.sensors_power_w
+
+    def test_self_powered_lidar_adds_weight_only(self):
+        lidar = find_sensor("Ultra Puck")
+        design = design_450(
+            wheelbase_mm=800.0, battery_cells=6, battery_capacity_mah=8000.0,
+            external_sensors=(lidar,),
+        )
+        assert design.sensors_power_w == 0.0
+        assert design.sensors_weight_g == pytest.approx(925.0)
+        # The LiDAR's weight still shrinks flight time.
+        bare = DroneDesign(
+            wheelbase_mm=800.0, battery_cells=6, battery_capacity_mah=8000.0,
+            compute_power_w=3.0,
+        )
+        assert design.evaluate().flight_time_min < bare.evaluate().flight_time_min
+
+    def test_gained_time_consistent_with_share(self):
+        evaluation = design_450(compute_power_w=20.0).evaluate()
+        expected = evaluation.flight_time_min * evaluation.compute_share_hover / (
+            1 - evaluation.compute_share_hover
+        )
+        assert evaluation.gained_flight_time_min == pytest.approx(expected)
+
+    def test_feasibility_check(self):
+        assert design_450().is_feasible()
+        heavy_1s = DroneDesign(
+            wheelbase_mm=50.0, battery_cells=1, battery_capacity_mah=8000.0,
+            payload_g=800.0,
+        )
+        assert not heavy_1s.is_feasible()
+
+    def test_summary_mentions_key_figures(self):
+        text = design_450().evaluate().summary()
+        assert "hover" in text and "min" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DroneDesign(wheelbase_mm=-1, battery_cells=3,
+                        battery_capacity_mah=1000.0)
+        with pytest.raises(ValueError):
+            design_450(twr=0.5)
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def sweep_450(self):
+        return sweep_wheelbase(450.0)
+
+    def test_sweep_covers_cells_and_capacities(self, sweep_450):
+        grouped = sweep_450.by_cells()
+        assert set(grouped) <= {1, 3, 6}
+        assert len(sweep_450.points) > 50
+
+    def test_power_increases_with_weight_within_config(self, sweep_450):
+        """Figure 10a-c: per cell count, power grows with drone weight."""
+        for points in sweep_450.by_cells().values():
+            powers = [p.hover_power_w for p in points]
+            assert powers == sorted(powers)
+
+    def test_best_configuration_exists(self, sweep_450):
+        best = sweep_450.best_configuration()
+        assert best is not None
+        assert best.flight_time_min > 15.0
+
+    def test_footprint_shares_in_paper_band(self, sweep_450):
+        """Figure 10d-f: 3 W <~8%, 20 W up to ~30% hovering, ~10-20% maneuvering."""
+        footprint = computation_footprint(sweep_450)
+        basic = footprint[3.0]
+        advanced = footprint[20.0]
+        assert max(p.share_hovering for p in basic) < 0.10
+        assert 0.15 < max(p.share_hovering for p in advanced) < 0.40
+        assert all(
+            p.share_maneuvering < p.share_hovering for p in advanced
+        )
+
+    def test_footprint_decreases_with_weight(self, sweep_450):
+        """Heavier drones -> smaller compute share (the paper's key trend)."""
+        advanced = computation_footprint(sweep_450)[20.0]
+        assert advanced[0].share_hovering > advanced[-1].share_hovering
+
+    def test_small_drone_sweep_has_infeasible_region(self):
+        sweep = sweep_wheelbase(100.0, cell_counts=(1,))
+        # The Kv wall cuts the 1S curve somewhere (or all points feasible
+        # only if light) — either infeasible entries or bounded weight.
+        if sweep.infeasible:
+            assert any("Kv" in reason for _, _, reason in sweep.infeasible)
+        else:
+            assert sweep.weight_range_g()[1] < 800.0
+
+    def test_sweep_all_wheelbases(self):
+        results = sweep_all_wheelbases(wheelbases_mm=(100.0, 450.0))
+        assert set(results) == {100.0, 450.0}
+        for sweep in results.values():
+            assert sweep.points

@@ -1,0 +1,163 @@
+"""Unit tests: fit re-derivation (Figs 7-9), validation (Fig 10 diamonds,
+Fig 11), and the Figure 12 wizard."""
+
+import pytest
+
+from repro.components.esc import EscClass
+from repro.core.tradeoffs import (
+    compare_battery_fits,
+    compare_esc_fits,
+    fit_battery_weight,
+    fit_esc_weight,
+    fit_frame_weight,
+    motor_current_curves,
+)
+from repro.core.validation import (
+    baseline_compute_share_range,
+    figure11_small_drone_study,
+    validate_against_commercial,
+)
+from repro.core.wizard import DesignWizard
+from repro.components.compute import find_board
+from repro.components.sensors import find_sensor
+
+
+class TestFitRecovery:
+    def test_battery_fits_recover_paper_lines(self, catalog):
+        """Figure 7: every per-cell slope within the injected scatter."""
+        comparisons = compare_battery_fits(catalog)
+        assert len(comparisons) == 6
+        for comparison in comparisons:
+            assert comparison.slope_error < 0.15, comparison.label
+            assert comparison.recovered.r_squared > 0.85
+
+    def test_esc_fits_recover_paper_lines(self, catalog):
+        comparisons = compare_esc_fits(catalog)
+        assert len(comparisons) == 2
+        for comparison in comparisons:
+            assert comparison.slope_error < 0.25, comparison.label
+
+    def test_frame_fit_recovers_large_slope(self, catalog):
+        fit = fit_frame_weight(catalog.frames)
+        assert fit.slope == pytest.approx(1.2767, rel=0.15)
+
+    def test_fit_ordering_by_cells(self, catalog):
+        """Higher-voltage packs weigh more per mAh (Figure 7 trend)."""
+        fits = fit_battery_weight(catalog.batteries)
+        assert fits[6].slope > fits[3].slope > fits[1].slope
+
+    def test_esc_class_separation(self, catalog):
+        fits = fit_esc_weight(catalog.escs)
+        assert (
+            fits[EscClass.LONG_FLIGHT].slope
+            > fits[EscClass.SHORT_FLIGHT].slope
+        )
+
+
+class TestFigure9Curves:
+    def test_currents_increase_with_weight(self):
+        curves = motor_current_curves(450.0, cell_counts=(3,))
+        currents = curves[0].currents_a
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_more_cells_less_current(self):
+        curves = {
+            c.cells: c for c in motor_current_curves(450.0, cell_counts=(1, 3, 6))
+        }
+        assert all(
+            curves[6].currents_a < curves[3].currents_a
+        )
+        assert all(curves[3].currents_a < curves[1].currents_a)
+
+    def test_kv_span_matches_figure9(self):
+        """Tiny props huge Kv; big props small Kv."""
+        tiny = motor_current_curves(50.0, cell_counts=(1,))[0]
+        large = motor_current_curves(800.0, cell_counts=(6,))[0]
+        assert tiny.kv_at_max_weight > 10_000.0
+        assert large.kv_at_max_weight < 1_500.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            motor_current_curves(450.0, basic_weights_g=[-100.0])
+
+
+class TestCommercialValidation:
+    def test_model_matches_implied_power_for_mid_drones(self):
+        """Fig 10 diamonds: model hover power tracks released flight times."""
+        points = validate_against_commercial()
+        by_name = {p.drone.name: p for p in points}
+        phantom = by_name["DJI Phantom 4"]
+        assert phantom.power_ratio is not None
+        assert 0.6 < phantom.power_ratio < 1.4
+
+    def test_majority_of_drones_within_2x(self):
+        points = [p for p in validate_against_commercial() if p.power_ratio]
+        close = [p for p in points if 0.5 < p.power_ratio < 2.0]
+        assert len(close) >= len(points) * 0.6
+
+    def test_figure11_rows_complete(self):
+        rows = figure11_small_drone_study()
+        assert len(rows) == 6
+        names = [r.name for r in rows]
+        assert names[0] == "Parrot Mambo"
+
+    def test_figure11_heavy_compute_band(self):
+        """Paper: heavy compute reaches 10-20% of hover power on small drones."""
+        rows = figure11_small_drone_study()
+        shares = [r.heavy_compute_share_hovering for r in rows]
+        assert max(shares) > 0.10
+        assert min(shares) > 0.01
+
+    def test_figure11_maneuver_exceeds_hover(self):
+        for row in figure11_small_drone_study():
+            assert row.maneuvering_power_w > row.hovering_power_w
+
+    def test_baseline_share_band(self):
+        """Paper: plain hover compute is 2-7% on these drones."""
+        low, high = baseline_compute_share_range()
+        assert 0.001 < low < high < 0.12
+
+
+class TestDesignWizard:
+    def test_full_procedure(self):
+        wizard = DesignWizard(wheelbase_mm=450.0)
+        wizard.add_board(find_board("Raspberry Pi 4"))
+        wizard.add_sensor(find_sensor("Night Eagle 2"))
+        wizard.add_payload(100.0)
+        evaluation = wizard.select_battery(3, 3000.0)
+        assert evaluation.flight_time_min > 5.0
+        outcome = wizard.quantify_optimization(power_saved_w=4.0)
+        assert outcome.gained_flight_time_min > 0.0
+        report = wizard.report()
+        assert "Add compute board" in report
+        assert "Quantify optimization" in report
+
+    def test_adding_accelerator_weight_offsets_gain(self):
+        wizard = DesignWizard(wheelbase_mm=450.0)
+        wizard.add_compute(power_w=10.0, weight_g=85.0)
+        wizard.select_battery(3, 3000.0)
+        pure_power = wizard.quantify_optimization(power_saved_w=9.5)
+        with_weight = wizard.quantify_optimization(
+            power_saved_w=9.5, weight_delta_g=75.0
+        )
+        assert with_weight.gained_flight_time_min < pure_power.gained_flight_time_min
+
+    def test_suggest_battery_maximizes_flight_time(self):
+        wizard = DesignWizard(wheelbase_mm=450.0)
+        best = wizard.suggest_battery(
+            cells_options=(3, 6), capacities_mah=(2000, 4000, 8000)
+        )
+        manual = DesignWizard(wheelbase_mm=450.0).select_battery(3, 2000.0)
+        assert best.flight_time_min >= manual.flight_time_min
+
+    def test_requires_battery_before_optimizing(self):
+        wizard = DesignWizard(wheelbase_mm=450.0)
+        with pytest.raises(RuntimeError):
+            wizard.quantify_optimization(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignWizard(wheelbase_mm=0.0)
+        wizard = DesignWizard(wheelbase_mm=450.0)
+        with pytest.raises(ValueError):
+            wizard.add_payload(-5.0)

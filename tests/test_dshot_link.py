@@ -1,0 +1,72 @@
+"""Tests: the DShot command link between flight controller and ESC."""
+
+import numpy as np
+import pytest
+
+from repro.physics.esc_model import DshotError, DshotLink
+
+
+class TestDshotLink:
+    def test_clean_link_transparent(self):
+        link = DshotLink()
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            applied = link.transmit(fraction)
+            assert applied == pytest.approx(fraction, abs=1e-3)
+        assert link.rejected == 0
+
+    def test_single_bit_errors_always_detected(self):
+        """The 4-bit XOR checksum catches every single-bit corruption —
+        the guarantee PWM lacks."""
+        for bit in range(16):
+            link = DshotLink(corruption_hook=lambda f, b=bit: f ^ (1 << b))
+            link.transmit(0.4)  # establish a last-good value
+            # hook corrupts this one too; value must hold, never misread.
+            applied = link.transmit(0.9)
+            assert link.rejected == 2
+            assert applied == 0.0  # nothing good ever arrived
+
+    def test_random_corruption_mostly_rejected(self):
+        link = DshotLink(bit_error_probability=0.02, seed=3)
+        misapplied = 0
+        for step in range(2000):
+            fraction = 0.5 + 0.4 * np.sin(step / 50.0)
+            applied = link.transmit(fraction)
+            if abs(applied - fraction) > 0.02 and applied != 0.0:
+                # Either a held previous value or (rarely) a checksum alias.
+                pass
+        assert link.rejected > 0
+        assert link.rejection_rate < 0.5
+
+    def test_rejection_rate_tracks_bit_errors(self):
+        """With per-bit error p, frame corruption ~ 1-(1-p)^16; a tiny
+        fraction of corruptions alias to valid checksums (4-bit CRC)."""
+        link = DshotLink(bit_error_probability=0.01, seed=5)
+        for _ in range(5000):
+            link.transmit(0.6)
+        expected = 1.0 - (1.0 - 0.01) ** 16
+        assert link.rejection_rate == pytest.approx(expected, rel=0.25)
+
+    def test_hold_last_good_command(self):
+        corrupt = {"active": False}
+
+        def hook(frame: int) -> int:
+            return frame ^ 0x0001 if corrupt["active"] else frame
+
+        link = DshotLink(corruption_hook=hook)
+        assert link.transmit(0.7) == pytest.approx(0.7, abs=1e-3)
+        corrupt["active"] = True  # every frame now single-bit corrupted
+        for _ in range(20):
+            applied = link.transmit(0.1)
+        assert applied == pytest.approx(0.7, abs=1e-3)
+        assert link.rejected == 20
+
+    def test_validation(self):
+        with pytest.raises(DshotError):
+            DshotLink(variant=999)
+        with pytest.raises(ValueError):
+            DshotLink(bit_error_probability=1.0)
+        link = DshotLink()
+        with pytest.raises(DshotError):
+            link.transmit(1.5)
+        with pytest.raises(ValueError):
+            DshotLink(seed=2).rejection_rate

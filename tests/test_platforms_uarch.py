@@ -1,0 +1,222 @@
+"""Unit tests: cache, TLB, branch predictor, and the trace-driven core."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.branch import GsharePredictor
+from repro.platforms.cache import SetAssociativeCache, rpi_cache_hierarchy
+from repro.platforms.cpu import CorePenalties, InOrderCore
+from repro.platforms.tlb import Tlb
+from repro.platforms.workload import (
+    OpKind,
+    autopilot_trace,
+    interleave,
+    slam_trace,
+)
+
+
+class TestCache:
+    def make(self, **kwargs) -> SetAssociativeCache:
+        defaults = dict(size_bytes=1024, line_bytes=64, associativity=2)
+        defaults.update(kwargs)
+        return SetAssociativeCache(**defaults)
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x1010)  # same line
+
+    def test_lru_eviction(self):
+        cache = self.make()  # 8 sets, 2 ways
+        set_stride = 8 * 64  # same set index
+        cache.access(0x0)
+        cache.access(set_stride)
+        cache.access(0x0)  # touch to make it MRU
+        cache.access(2 * set_stride)  # evicts set_stride (LRU)
+        assert cache.access(0x0)
+        assert not cache.access(set_stride)
+
+    def test_capacity_thrash(self):
+        cache = self.make(size_bytes=1024)
+        for address in range(0, 4096, 64):
+            cache.access(address)
+        for address in range(0, 4096, 64):
+            cache.access(address)
+        assert cache.stats.miss_rate > 0.9  # streaming over 4x capacity
+
+    def test_miss_propagates_to_next_level(self):
+        llc = self.make(size_bytes=4096, associativity=4)
+        l1 = self.make(next_level=llc)
+        l1.access(0x5000)
+        assert llc.stats.accesses == 1
+
+    def test_prefetch_next_line(self):
+        l1 = self.make(size_bytes=2048, prefetch_next_line=True)
+        assert not l1.access(0x0)
+        assert l1.access(0x40)  # prefetched
+
+    def test_flush(self):
+        cache = self.make()
+        cache.access(0x0)
+        cache.flush()
+        assert not cache.access(0x0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1000, line_bytes=64, associativity=3)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0)
+
+    def test_rpi_hierarchy_shape(self):
+        l1, llc = rpi_cache_hierarchy()
+        assert l1.size_bytes == 32 * 1024
+        assert llc.size_bytes == 1024 * 1024
+        assert l1.next_level is llc
+
+
+class TestTlb:
+    def test_hit_after_fill(self):
+        tlb = Tlb(entries=4)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1fff)  # same page
+
+    def test_lru_capacity(self):
+        tlb = Tlb(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)  # MRU
+        tlb.access(0x2000)  # evicts 0x1000
+        assert tlb.access(0x0000)
+        assert not tlb.access(0x1000)
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.access(0x4000)
+        tlb.flush()
+        assert not tlb.access(0x4000)
+        assert tlb.resident_pages == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+        with pytest.raises(ValueError):
+            Tlb(page_bytes=3000)
+
+
+class TestBranchPredictor:
+    def test_learns_biased_branch(self):
+        predictor = GsharePredictor()
+        for _ in range(200):
+            predictor.predict_and_update(0x400, True)
+        assert predictor.stats.miss_rate < 0.05
+
+    def test_alternating_pattern_learned_via_history(self):
+        predictor = GsharePredictor()
+        for index in range(2000):
+            predictor.predict_and_update(0x400, index % 2 == 0)
+        # With history, an alternating branch becomes predictable.
+        assert predictor.stats.miss_rate < 0.30
+
+    def test_random_branches_near_half(self):
+        predictor = GsharePredictor()
+        rng = np.random.default_rng(0)
+        for _ in range(3000):
+            predictor.predict_and_update(0x400, bool(rng.random() < 0.5))
+        assert 0.35 < predictor.stats.miss_rate < 0.65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=2)
+
+
+class TestWorkloads:
+    def test_trace_lengths(self):
+        trace = autopilot_trace(length=5000)
+        assert trace.length == 5000
+
+    def test_deterministic(self):
+        a = slam_trace(length=1000, seed=3)
+        b = slam_trace(length=1000, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_kind_mix(self):
+        trace = autopilot_trace(length=50_000)
+        mem = np.sum((trace.kinds == OpKind.LOAD) | (trace.kinds == OpKind.STORE))
+        branches = np.sum(trace.kinds == OpKind.BRANCH)
+        assert 0.2 < mem / trace.length < 0.4
+        assert 0.08 < branches / trace.length < 0.16
+
+    def test_slam_has_bigger_footprint(self):
+        autopilot = autopilot_trace(length=20_000)
+        slam = slam_trace(length=20_000)
+        footprint = lambda t: len(set(t.addresses // 4096))
+        assert footprint(slam) > 3 * footprint(autopilot)
+
+    def test_interleave_preserves_instructions(self):
+        a = autopilot_trace(length=10_000)
+        b = slam_trace(length=25_000)
+        segments = interleave(a, b, timeslice=3000, timeslice_b=7000)
+        totals = {"autopilot": 0, "slam": 0}
+        for context, segment in segments:
+            totals[context] += segment.length
+        assert totals == {"autopilot": 10_000, "slam": 25_000}
+
+    def test_interleave_alternates(self):
+        a = autopilot_trace(length=6000)
+        b = slam_trace(length=6000)
+        segments = interleave(a, b, timeslice=2000)
+        contexts = [context for context, _ in segments]
+        assert contexts[:4] == ["autopilot", "slam", "autopilot", "slam"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autopilot_trace(length=0)
+        with pytest.raises(ValueError):
+            interleave(autopilot_trace(100), slam_trace(100), timeslice=0)
+
+
+class TestInOrderCore:
+    def test_alu_only_trace_ipc_is_base(self):
+        from repro.platforms.workload import Trace
+
+        length = 1000
+        trace = Trace(
+            name="alu",
+            kinds=np.zeros(length, dtype=np.uint8),
+            addresses=np.zeros(length, dtype=np.int64),
+            pcs=np.zeros(length, dtype=np.int64),
+            taken=np.zeros(length, dtype=bool),
+        )
+        core = InOrderCore()
+        counters = core.run_trace("alu", trace)
+        assert counters.ipc == pytest.approx(1.0)
+
+    def test_memory_penalties_lower_ipc(self):
+        core = InOrderCore()
+        counters = core.run_trace("slam", slam_trace(length=20_000))
+        assert counters.ipc < 0.6
+
+    def test_counters_accumulate_across_runs(self):
+        core = InOrderCore()
+        core.run_trace("a", autopilot_trace(length=5000))
+        core.run_trace("a", autopilot_trace(length=5000, seed=99))
+        assert core.counters["a"].instructions == 10_000
+
+    def test_reset_counters_keeps_state(self):
+        core = InOrderCore()
+        core.run_trace("warm", autopilot_trace(length=5000))
+        resident = core.tlb.resident_pages
+        core.reset_counters()
+        assert core.tlb.resident_pages == resident
+        assert core.counters == {}
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            InOrderCore().run_segments([])
+
+    def test_penalty_validation(self):
+        with pytest.raises(ValueError):
+            CorePenalties(base_cpi=0.0)
+        with pytest.raises(ValueError):
+            CorePenalties(llc_miss_dram=-5)

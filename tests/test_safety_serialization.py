@@ -1,0 +1,133 @@
+"""Tests: geofence failsafe, design serialization, voltage-sag coupling,
+and SLAM seed robustness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autopilot.arducopter import Autopilot, FlightMode, Geofence
+from repro.core.design import DroneDesign
+from repro.sim.simulator import DroneModel, FlightSimulator
+
+
+def make_autopilot(geofence=None) -> Autopilot:
+    model = DroneModel(
+        mass_kg=1.071, wheelbase_mm=450.0, battery_cells=3,
+        battery_capacity_mah=3000.0,
+    )
+    return Autopilot(
+        FlightSimulator(model, physics_rate_hz=400.0), geofence=geofence
+    )
+
+
+class TestGeofence:
+    def test_breach_detection(self):
+        fence = Geofence(radius_m=10.0, ceiling_m=8.0)
+        home = np.zeros(3)
+        assert not fence.breached(np.array([5.0, 0.0, 3.0]), home)
+        assert fence.breached(np.array([11.0, 0.0, 3.0]), home)
+        assert fence.breached(np.array([0.0, 0.0, 9.0]), home)
+
+    def test_disabled_fence_never_breaches(self):
+        fence = Geofence(radius_m=1.0, ceiling_m=1.0, enabled=False)
+        assert not fence.breached(np.array([100.0, 0.0, 100.0]), np.zeros(3))
+
+    def test_lateral_breach_triggers_rtl(self):
+        autopilot = make_autopilot(Geofence(radius_m=4.0, ceiling_m=20.0))
+        autopilot.arm()
+        autopilot.takeoff(5.0)
+        for _ in range(50):
+            autopilot.update(0.1)
+        autopilot.goto(np.array([10.0, 0.0, 5.0]))  # beyond the fence
+        for _ in range(60):
+            autopilot.update(0.1)
+            if autopilot.fence_breached:
+                break
+        assert autopilot.fence_breached
+        assert autopilot.mode is FlightMode.RTL
+        # RTL brings the drone back inside the fence.
+        for _ in range(80):
+            autopilot.update(0.1)
+        position = autopilot.sim.body.state.position_m
+        assert np.linalg.norm(position[0:2]) < 4.0
+
+    def test_ceiling_breach_triggers_rtl(self):
+        autopilot = make_autopilot(Geofence(radius_m=50.0, ceiling_m=3.0))
+        autopilot.arm()
+        autopilot.takeoff(8.0)
+        for _ in range(60):
+            autopilot.update(0.1)
+            if autopilot.fence_breached:
+                break
+        assert autopilot.fence_breached
+
+    def test_fence_validation(self):
+        with pytest.raises(ValueError):
+            Geofence(radius_m=0.0)
+
+
+class TestDesignSerialization:
+    def test_roundtrip_preserves_evaluation(self):
+        original = DroneDesign(
+            wheelbase_mm=450.0, battery_cells=3, battery_capacity_mah=4000.0,
+            compute_power_w=5.0, payload_g=120.0,
+        )
+        clone = DroneDesign.from_dict(original.to_dict())
+        assert clone.evaluate().as_dict() == original.evaluate().as_dict()
+
+    def test_dict_is_json_serializable(self):
+        design = DroneDesign(
+            wheelbase_mm=450.0, battery_cells=3, battery_capacity_mah=3000.0,
+        )
+        text = json.dumps(design.to_dict())
+        rebuilt = DroneDesign.from_dict(json.loads(text))
+        assert rebuilt.wheelbase_mm == 450.0
+
+    def test_evaluation_dict_fields(self):
+        evaluation = DroneDesign(
+            wheelbase_mm=450.0, battery_cells=3, battery_capacity_mah=3000.0,
+        ).evaluate()
+        data = evaluation.as_dict()
+        assert data["total_weight_g"] == pytest.approx(evaluation.total_weight_g)
+        assert "frame" in data["weight_breakdown_g"]
+        json.dumps(data)  # must be JSON-clean
+
+
+class TestVoltageSag:
+    def test_tired_battery_climbs_slower(self):
+        def climb_height(used_fraction: float) -> float:
+            model = DroneModel(
+                mass_kg=1.071, wheelbase_mm=450.0, battery_cells=3,
+                battery_capacity_mah=3000.0,
+            )
+            sim = FlightSimulator(model, physics_rate_hz=400.0)
+            sim.battery.used_mah = sim.battery.usable_mah * used_fraction
+            sim.goto([0.0, 0.0, 30.0])
+            sim.run_for(3.0)
+            return float(sim.body.state.position_m[2])
+
+        fresh = climb_height(0.0)
+        tired = climb_height(0.95)
+        assert tired < fresh
+
+    def test_hover_maintained_even_when_tired(self):
+        model = DroneModel(
+            mass_kg=1.071, wheelbase_mm=450.0, battery_cells=3,
+            battery_capacity_mah=3000.0,
+        )
+        sim = FlightSimulator(model, physics_rate_hz=400.0)
+        sim.battery.used_mah = sim.battery.usable_mah * 0.9
+        sim.goto([0.0, 0.0, 3.0])
+        sim.run_for(8.0)
+        assert sim.body.state.position_m[2] == pytest.approx(3.0, abs=0.5)
+
+
+class TestSlamSeedRobustness:
+    @pytest.mark.parametrize("seed", [11, 101, 999])
+    def test_pipeline_accuracy_across_seeds(self, seed):
+        from repro.slam.pipeline import run_slam
+
+        result = run_slam("MH01", max_frames=50, seed=seed)
+        assert result.ate_rmse_m < 0.25
+        assert result.map_points > 50

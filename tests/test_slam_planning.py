@@ -1,0 +1,160 @@
+"""Tests for SLAM-map-based path planning (outer-loop autonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.slam.dataset import load_sequence
+from repro.slam.pipeline import SlamPipeline
+from repro.slam.planning import (
+    OccupancyGrid,
+    PlanningError,
+    grid_from_landmarks,
+    plan_path,
+)
+
+
+def simple_grid(width=20, height=20, resolution=0.5) -> OccupancyGrid:
+    return OccupancyGrid(
+        origin_m=np.zeros(3), resolution_m=resolution, width=width,
+        height=height,
+    )
+
+
+class TestOccupancyGrid:
+    def test_cell_roundtrip(self):
+        grid = simple_grid()
+        row, col = grid.cell_of(np.array([3.2, 4.7, 0.0]))
+        center = grid.center_of(row, col)
+        assert abs(center[0] - 3.2) <= grid.resolution_m
+        assert abs(center[1] - 4.7) <= grid.resolution_m
+
+    def test_outside_grid_raises(self):
+        grid = simple_grid()
+        with pytest.raises(ValueError):
+            grid.cell_of(np.array([100.0, 0.0, 0.0]))
+
+    def test_mark_occupied_inflates(self):
+        grid = simple_grid()
+        grid.mark_occupied(np.array([5.0, 5.0, 0.0]), inflation_m=1.0)
+        row, col = grid.cell_of(np.array([5.0, 5.0, 0.0]))
+        assert not grid.is_free(row, col)
+        assert not grid.is_free(row + 1, col)  # inflated neighbor
+
+    def test_landmark_outside_grid_ignored(self):
+        grid = simple_grid()
+        grid.mark_occupied(np.array([500.0, 0.0, 0.0]), inflation_m=1.0)
+        assert grid.occupied_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyGrid(origin_m=np.zeros(3), resolution_m=0.0, width=5,
+                          height=5)
+
+
+class TestGridFromLandmarks:
+    def test_altitude_band_filters(self):
+        landmarks = np.array([
+            [2.0, 2.0, 1.0],   # in band -> obstacle
+            [4.0, 4.0, 10.0],  # above band -> ignored
+        ])
+        grid = grid_from_landmarks(landmarks, altitude_band_m=(0.5, 2.5))
+        row, col = grid.cell_of(np.array([2.0, 2.0, 0.0]))
+        assert not grid.is_free(row, col)
+        row, col = grid.cell_of(np.array([4.0, 4.0, 0.0]))
+        assert grid.is_free(row, col)
+
+    def test_margin_gives_free_border(self):
+        landmarks = np.array([[0.0, 0.0, 1.0]])
+        grid = grid_from_landmarks(landmarks, margin_m=3.0)
+        assert grid.width * grid.resolution_m >= 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_from_landmarks(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            grid_from_landmarks(np.zeros((5, 3)), altitude_band_m=(2.0, 1.0))
+
+
+class TestAStar:
+    def test_straight_line_in_empty_grid(self):
+        grid = simple_grid()
+        plan = plan_path(
+            grid, np.array([0.5, 0.5, 0.0]), np.array([9.0, 0.5, 0.0])
+        )
+        assert len(plan.waypoints_m) == 2  # simplified to start/goal
+        assert plan.path_length_m == pytest.approx(8.5, abs=1.0)
+
+    def test_detours_around_wall(self):
+        grid = simple_grid()
+        # A wall across the middle with a gap at the top.
+        for row in range(0, 15):
+            grid.occupied[row, 10] = True
+        plan = plan_path(
+            grid, np.array([1.0, 1.0, 0.0]), np.array([9.0, 1.0, 0.0])
+        )
+        direct = 8.0
+        assert plan.path_length_m > direct + 2.0  # forced detour
+        # The path never crosses an occupied cell.
+        for waypoint in plan.waypoints_m:
+            row, col = grid.cell_of(waypoint)
+            assert grid.is_free(row, col)
+
+    def test_no_path_raises(self):
+        grid = simple_grid()
+        grid.occupied[:, 10] = True  # full wall
+        with pytest.raises(PlanningError, match="no path"):
+            plan_path(
+                grid, np.array([1.0, 1.0, 0.0]), np.array([9.0, 1.0, 0.0])
+            )
+
+    def test_occupied_endpoints_raise(self):
+        grid = simple_grid()
+        grid.mark_occupied(np.array([1.0, 1.0, 0.0]), inflation_m=0.0)
+        with pytest.raises(PlanningError, match="start"):
+            plan_path(
+                grid, np.array([1.0, 1.0, 0.0]), np.array([5.0, 5.0, 0.0])
+            )
+
+    def test_waypoints_carry_altitude(self):
+        grid = simple_grid()
+        plan = plan_path(
+            grid, np.array([0.5, 0.5, 0.0]), np.array([5.0, 5.0, 0.0]),
+            altitude_m=2.0,
+        )
+        assert all(w[2] == 2.0 for w in plan.waypoints_m)
+
+    def test_operations_accounted(self):
+        grid = simple_grid()
+        plan = plan_path(
+            grid, np.array([0.5, 0.5, 0.0]), np.array([9.0, 9.0, 0.0])
+        )
+        assert plan.operations > 0
+        assert plan.expanded_nodes > 0
+
+
+class TestSlamToPlanPipeline:
+    def test_plan_through_slam_map(self):
+        """End-to-end outer loop: SLAM map -> occupancy grid -> A* plan."""
+        sequence = load_sequence("MH01")
+        pipeline = SlamPipeline(sequence)
+        pipeline.run(max_frames=40)
+        points = np.stack(
+            [p.position_m for p in pipeline.slam_map.points.values()]
+        )
+        grid = grid_from_landmarks(
+            points, resolution_m=0.5, altitude_band_m=(0.8, 1.6),
+            inflation_m=0.3,
+        )
+        assert 0.0 < grid.occupied_fraction < 0.9
+        # Find any free start/goal pair and plan between them.
+        free_cells = np.argwhere(~grid.occupied)
+        start = grid.center_of(*free_cells[0])
+        goal = grid.center_of(*free_cells[-1])
+        plan = plan_path(
+            grid,
+            np.append(start, 0.0),
+            np.append(goal, 0.0),
+            altitude_m=1.2,
+        )
+        assert plan.path_length_m > 0.0
+        assert len(plan.waypoints_m) >= 2
