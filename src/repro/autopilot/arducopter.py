@@ -14,7 +14,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autopilot.mavlink import Command, Link, MessageType
+from repro.autopilot.mavlink import (
+    ACK_ACCEPTED,
+    ACK_FAILED,
+    Command,
+    Link,
+    MessageType,
+)
 from repro.sim.simulator import FlightSimulator
 
 
@@ -24,6 +30,23 @@ class FlightMode(enum.Enum):
     AUTO = "auto"
     LAND = "land"
     RTL = "rtl"
+
+
+class FailsafeState(enum.Enum):
+    """Graceful-degradation ladder: each state strictly escalates.
+
+    NOMINAL -> DEGRADED (a redundancy is gone but flight continues, e.g.
+    dead-reckoning through a GPS outage or falling back to onboard SLAM)
+    -> FAILSAFE_RTL (abort the mission, fly home) -> FAILSAFE_LAND (land
+    now, position can no longer be trusted or energy is critical).
+    DEGRADED clears back to NOMINAL when every cause clears; the two
+    FAILSAFE states latch.
+    """
+
+    NOMINAL = 0
+    DEGRADED = 1
+    FAILSAFE_RTL = 2
+    FAILSAFE_LAND = 3
 
 
 #: SET_MODE payload index -> mode (mirrors custom-mode numbers loosely).
@@ -86,25 +109,55 @@ class Autopilot:
     LOW_BATTERY_SOC = 0.25
     CRITICAL_BATTERY_SOC = 0.18
     WAYPOINT_RADIUS_M = 0.6
+    #: GPS fix age (s) that flips estimation into dead-reckoning.
+    GPS_LOSS_DEGRADED_S = 1.0
+    #: Dead-reckoning time (s) after which position is too uncertain to RTL.
+    GPS_LOSS_LAND_S = 8.0
+    #: Heartbeat silence (s) declaring the GCS link lost (once seen).
+    LINK_LOSS_TIMEOUT_S = 5.0
+    #: Mixer saturation ratio treated as thrust loss (degraded motors/ESCs).
+    SATURATION_RATIO = 0.8
+    #: Sustained saturation (s) before degrading / landing.  Descending needs
+    #: less than hover thrust, so LAND is the recovery that un-saturates.
+    SATURATION_DEGRADED_S = 0.5
+    SATURATION_LAND_S = 2.0
 
     def __init__(
         self,
         sim: FlightSimulator,
         link: Optional[Link] = None,
         geofence: Optional[Geofence] = None,
+        downlink: Optional[Link] = None,
     ):
         self.sim = sim
         self.link = link or Link()
+        #: Telemetry/ACK channel; defaults to the shared bidirectional link.
+        self.downlink = downlink or self.link
         self.mode = FlightMode.STABILIZE
         self.armed = False
         self.home_m = sim.body.state.position_m.copy()
         self.mission: List[MissionItem] = []
         self._mission_index = 0
         self._hold_until_s: Optional[float] = None
-        self.failsafe_triggered = False
+        self.failsafe = FailsafeState.NOMINAL
+        self.failsafe_cause: Optional[str] = None
+        self._degraded_causes: set = set()
         self.geofence = geofence or Geofence()
         self.fence_breached = False
         self.events: List[Tuple[float, str]] = []
+        #: Optional offload pose-staleness watchdog (see repro.autopilot.offload).
+        self.pose_watchdog = None
+        self._last_heartbeat_s: Optional[float] = None
+        self._last_mix_counts = (0, 0)
+        self._saturated_since_s: Optional[float] = None
+
+    @property
+    def failsafe_triggered(self) -> bool:
+        """True once a hard failsafe (RTL/LAND) has latched."""
+        return self.failsafe in (
+            FailsafeState.FAILSAFE_RTL,
+            FailsafeState.FAILSAFE_LAND,
+        )
 
     # -- arming -----------------------------------------------------------------
 
@@ -174,8 +227,14 @@ class Autopilot:
         """Run the autopilot and simulator forward by ``duration_s``."""
         if duration_s <= 0:
             raise ValueError(f"duration must be positive: {duration_s}")
+        self.link.advance_to(self.sim.time_s)
+        self.downlink.advance_to(self.sim.time_s)
         self._process_link()
         self._battery_failsafe()
+        self._gps_failsafe()
+        self._link_failsafe()
+        self._thrust_failsafe()
+        self._offload_watchdog()
         self._fence_check()
         if self.mode is FlightMode.AUTO and self.armed:
             self._advance_mission()
@@ -185,17 +244,33 @@ class Autopilot:
     def _process_link(self) -> None:
         for message in self.link.drain():
             if message.message_type is MessageType.COMMAND_LONG:
-                self._handle_command(message.payload)
+                self._handle_command(message.payload, message.sequence)
+            elif message.message_type is MessageType.HEARTBEAT:
+                self._last_heartbeat_s = self.sim.time_s
             elif message.message_type is MessageType.SET_POSITION_TARGET:
                 if len(message.payload) < 3:
                     continue
                 if self.mode is FlightMode.GUIDED and self.armed:
                     self.sim.goto(np.asarray(message.payload[0:3], dtype=float))
 
-    def _handle_command(self, payload: Tuple[float, ...]) -> None:
+    def _handle_command(self, payload: Tuple[float, ...], sequence: int = 0) -> None:
+        """Execute one COMMAND_LONG and ACK its outcome on the downlink."""
         if not payload:
             return
         command = Command(int(payload[0]))
+        result = ACK_ACCEPTED
+        try:
+            self._execute_command(command, payload)
+        except ArmingError as error:
+            # Arming/disarming refusals are operational outcomes the GCS
+            # must learn about; protocol violations still raise loudly.
+            result = ACK_FAILED
+            self._log(f"command {command.name} rejected: {error}")
+        self.downlink.send(
+            MessageType.ACK, (float(command), result, float(sequence))
+        )
+
+    def _execute_command(self, command: Command, payload: Tuple[float, ...]) -> None:
         if command is Command.ARM_DISARM:
             if len(payload) > 1 and payload[1] >= 0.5:
                 if not self.armed:
@@ -214,23 +289,120 @@ class Autopilot:
                 raise ValueError(f"unknown mode id {payload[1]}")
             self.set_mode(mode)
 
+    # -- graceful degradation ------------------------------------------------------
+
+    def _enter_failsafe(self, state: FailsafeState, cause: str) -> None:
+        """Escalate the failsafe ladder (never de-escalate); act on entry."""
+        if state.value <= self.failsafe.value:
+            return
+        self.failsafe = state
+        self.failsafe_cause = cause
+        if state is FailsafeState.FAILSAFE_RTL:
+            self.set_mode(FlightMode.RTL)
+            self._log(f"FAILSAFE: {cause} -> RTL")
+        elif state is FailsafeState.FAILSAFE_LAND:
+            self.set_mode(FlightMode.LAND)
+            self._log(f"FAILSAFE: {cause} -> LAND")
+
+    def _degrade(self, cause: str) -> None:
+        """Enter (or add a cause to) the DEGRADED state."""
+        if cause in self._degraded_causes:
+            return
+        self._degraded_causes.add(cause)
+        if self.failsafe is FailsafeState.NOMINAL:
+            self.failsafe = FailsafeState.DEGRADED
+            self.failsafe_cause = cause
+            self._log(f"DEGRADED: {cause}")
+
+    def _recover(self, cause: str) -> None:
+        """Clear a degradation cause; back to NOMINAL when none remain."""
+        if cause not in self._degraded_causes:
+            return
+        self._degraded_causes.discard(cause)
+        self._log(f"RECOVERED: {cause}")
+        if self.failsafe is FailsafeState.DEGRADED and not self._degraded_causes:
+            self.failsafe = FailsafeState.NOMINAL
+            self.failsafe_cause = None
+            self._log("NOMINAL: all degradations cleared")
+
     def _battery_failsafe(self) -> None:
         """RTL on low battery, LAND on critical (the safety-override path
         the paper routes through the inner loop)."""
-        if not self.armed or self.failsafe_triggered:
+        if not self.armed:
             return
         soc = self.sim.battery.state_of_charge
         if soc < self.CRITICAL_BATTERY_SOC or self.sim.depleted:
-            self.failsafe_triggered = True
-            self.set_mode(FlightMode.LAND)
-            self._log("FAILSAFE: critical battery -> LAND")
+            self._enter_failsafe(FailsafeState.FAILSAFE_LAND, "critical battery")
         elif soc < self.LOW_BATTERY_SOC and self.mode not in (
             FlightMode.RTL,
             FlightMode.LAND,
         ):
-            self.failsafe_triggered = True
-            self.set_mode(FlightMode.RTL)
-            self._log("FAILSAFE: low battery -> RTL")
+            self._enter_failsafe(FailsafeState.FAILSAFE_RTL, "low battery")
+
+    def _gps_failsafe(self) -> None:
+        """Dead-reckon through short GPS outages; LAND when drift is unbounded.
+
+        While the fix is stale the EKF keeps predicting on the IMU alone
+        (dead-reckoning); position uncertainty grows without bound, so after
+        ``GPS_LOSS_LAND_S`` the only safe action left is a controlled LAND —
+        RTL would navigate on a fiction.
+        """
+        if not self.armed or not self.sim.use_ekf:
+            return
+        age = self.sim.sensors.gps_fix_age_s()
+        if age > self.GPS_LOSS_DEGRADED_S:
+            self._degrade("gps loss (dead-reckoning)")
+            if age > self.GPS_LOSS_LAND_S:
+                self._enter_failsafe(FailsafeState.FAILSAFE_LAND, "gps loss")
+        else:
+            self._recover("gps loss (dead-reckoning)")
+
+    def _link_failsafe(self) -> None:
+        """RTL on GCS heartbeat loss (armed only after a heartbeat is seen)."""
+        if not self.armed or self._last_heartbeat_s is None:
+            return
+        if self.sim.time_s - self._last_heartbeat_s > self.LINK_LOSS_TIMEOUT_S:
+            self._enter_failsafe(FailsafeState.FAILSAFE_RTL, "link loss")
+
+    def _thrust_failsafe(self) -> None:
+        """Land on sustained mixer saturation (thrust loss).
+
+        When the mixer keeps hitting per-motor ceilings — a degraded rotor,
+        ESC thermal throttling — attitude authority is compromised.  Flying
+        on is how drones flip; descending needs less than hover thrust, so a
+        controlled LAND restores margin.
+        """
+        if not self.armed:
+            return
+        mixer = self.sim.controller.thrust_controller.mixer
+        previous_mixes, previous_saturations = self._last_mix_counts
+        self._last_mix_counts = (mixer.mixes, mixer.saturations)
+        mixes = mixer.mixes - previous_mixes
+        if mixes <= 0:
+            return
+        ratio = (mixer.saturations - previous_saturations) / mixes
+        if ratio < self.SATURATION_RATIO:
+            if self._saturated_since_s is not None:
+                self._saturated_since_s = None
+                self._recover("thrust saturation")
+            return
+        if self._saturated_since_s is None:
+            self._saturated_since_s = self.sim.time_s
+        sustained = self.sim.time_s - self._saturated_since_s
+        if sustained >= self.SATURATION_DEGRADED_S:
+            self._degrade("thrust saturation")
+        if sustained >= self.SATURATION_LAND_S:
+            self._enter_failsafe(FailsafeState.FAILSAFE_LAND, "thrust saturation")
+
+    def _offload_watchdog(self) -> None:
+        """Fall back to onboard SLAM when offloaded poses go stale."""
+        if self.pose_watchdog is None or not self.armed:
+            return
+        transition = self.pose_watchdog.update(self.sim.time_s)
+        if transition == "fallback":
+            self._degrade("offload pose stale (onboard SLAM fallback)")
+        elif transition == "recovered":
+            self._recover("offload pose stale (onboard SLAM fallback)")
 
     def _fence_check(self) -> None:
         """RTL on geofence breach; latched until mode is changed manually."""
@@ -238,8 +410,7 @@ class Autopilot:
             return
         if self.geofence.breached(self.sim.body.state.position_m, self.home_m):
             self.fence_breached = True
-            self.set_mode(FlightMode.RTL)
-            self._log("FAILSAFE: geofence breach -> RTL")
+            self._enter_failsafe(FailsafeState.FAILSAFE_RTL, "geofence breach")
 
     def _advance_mission(self) -> None:
         if self._mission_index >= len(self.mission):
@@ -259,7 +430,7 @@ class Autopilot:
 
     def _send_state_report(self) -> None:
         state = self.sim.body.state
-        self.link.send(
+        self.downlink.send(
             MessageType.STATE_REPORT,
             tuple(state.position_m)
             + tuple(state.velocity_m_s)

@@ -12,7 +12,7 @@ which decides whether off-board SLAM can feed navigation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,12 +49,34 @@ class OffboardComputeNode:
     link: Link
     one_way_latency_s: float = 0.015
     frame_rate_hz: float = FRAME_RATE_HZ
+    #: Fault windows (start_s, end_s) during which the node is stalled (GC
+    #: pause, thermal throttle, contending tenant): work queued in a window
+    #: cannot start before the window ends.
+    stall_windows: Sequence[Tuple[float, float]] = ()
+    #: Node crash time: frames captured at/after this instant are never
+    #: processed (until ``recover_at_s``, if set).
+    crash_at_s: Optional[float] = None
+    recover_at_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.one_way_latency_s < 0:
             raise ValueError("latency cannot be negative")
         if self.frame_rate_hz <= 0:
             raise ValueError("frame rate must be positive")
+        for start, end in self.stall_windows:
+            if end <= start or start < 0:
+                raise ValueError(f"bad stall window ({start}, {end})")
+        if (
+            self.crash_at_s is not None
+            and self.recover_at_s is not None
+            and self.recover_at_s <= self.crash_at_s
+        ):
+            raise ValueError("recovery must come after the crash")
+
+    def _node_down(self, time_s: float) -> bool:
+        if self.crash_at_s is None or time_s < self.crash_at_s:
+            return False
+        return self.recover_at_s is None or time_s < self.recover_at_s
 
     def process_stream(self, result: SlamRunResult) -> List[PoseUpdate]:
         """Replay the SLAM run through the offload path.
@@ -82,8 +104,13 @@ class OffboardComputeNode:
         node_free_at = 0.0
         for index in range(frames):
             capture = index * period
+            if self._node_down(capture):
+                continue  # node crashed: frame is never processed
             arrival = capture + self.one_way_latency_s
             start = max(arrival, node_free_at)
+            for window_start, window_end in self.stall_windows:
+                if window_start <= start < window_end:
+                    start = window_end
             work = per_frame_ops / extraction_throughput
             if index % 10 == 0:
                 work += per_keyframe_ops / ba_throughput
@@ -108,6 +135,45 @@ class OffboardComputeNode:
                 )
             )
         return updates
+
+
+@dataclass
+class PoseStalenessWatchdog:
+    """Detects when offloaded SLAM poses stop arriving and flags the fallback.
+
+    The autopilot polls ``update`` every control cycle; whoever consumes the
+    offload stream calls ``note_pose`` on each delivery.  When the newest
+    pose is older than the threshold the watchdog reports a ``"fallback"``
+    transition (switch navigation to onboard SLAM); when fresh poses resume
+    it reports ``"recovered"``.
+    """
+
+    staleness_threshold_s: float = 0.5
+    last_pose_s: float = 0.0
+    fallback_active: bool = False
+    fallbacks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.staleness_threshold_s <= 0:
+            raise ValueError("staleness threshold must be positive")
+
+    def note_pose(self, time_s: float) -> None:
+        """Record a delivered pose (monotonic in time)."""
+        self.last_pose_s = max(self.last_pose_s, time_s)
+
+    def stale(self, now_s: float) -> bool:
+        return now_s - self.last_pose_s > self.staleness_threshold_s
+
+    def update(self, now_s: float) -> Optional[str]:
+        """Poll; returns "fallback"/"recovered" on a transition, else None."""
+        if self.stale(now_s) and not self.fallback_active:
+            self.fallback_active = True
+            self.fallbacks += 1
+            return "fallback"
+        if not self.stale(now_s) and self.fallback_active:
+            self.fallback_active = False
+            return "recovered"
+        return None
 
 
 @dataclass(frozen=True)

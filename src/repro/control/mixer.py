@@ -19,11 +19,26 @@ _ROTOR_SPIN = np.array([1.0, 1.0, -1.0, -1.0])
 
 @dataclass
 class MotorMixer:
-    """Allocates a desired wrench across the four rotors."""
+    """Allocates a desired wrench across the four rotors.
+
+    ``motor_health`` scales each rotor's thrust ceiling in [0, 1]: 1 is a
+    healthy motor, fractions model ESC thermal throttling or a degraded
+    motor/prop, and 0 is a dead rotor.  The fault-injection framework writes
+    it; nominal flight never touches it.
+    """
+
+    #: Never shed more than half the commanded collective while desaturating:
+    #: below that the airframe falls faster than attitude recovery helps.
+    MIN_COLLECTIVE_SCALE = 0.5
 
     arm_length_m: float
     torque_thrust_ratio_m: float = 0.016
     max_thrust_per_motor_n: float = 10.0
+    motor_health: np.ndarray = None  # type: ignore[assignment]
+    #: Allocation statistics: total mixes and how many hit a thrust ceiling.
+    #: The autopilot's thrust-saturation failsafe watches the ratio.
+    mixes: int = 0
+    saturations: int = 0
 
     def __post_init__(self) -> None:
         if self.arm_length_m <= 0:
@@ -32,6 +47,13 @@ class MotorMixer:
             raise ValueError("torque/thrust ratio must be positive")
         if self.max_thrust_per_motor_n <= 0:
             raise ValueError("max thrust must be positive")
+        if self.motor_health is None:
+            self.motor_health = np.ones(4)
+        self.motor_health = np.asarray(self.motor_health, dtype=float)
+        if self.motor_health.shape != (4,):
+            raise ValueError("motor health must be a 4-vector")
+        if np.any(self.motor_health < 0.0) or np.any(self.motor_health > 1.0):
+            raise ValueError("motor health factors must be in [0, 1]")
         arm_x = self.arm_length_m * np.cos(_ROTOR_ANGLES)
         arm_y = self.arm_length_m * np.sin(_ROTOR_ANGLES)
         # Rows: total thrust, roll torque, pitch torque, yaw torque.
@@ -52,8 +74,9 @@ class MotorMixer:
     ) -> np.ndarray:
         """Per-motor thrusts (N) for a desired collective thrust and torque.
 
-        Commands are clipped to [0, max]; when saturated, collective thrust
-        is preserved preferentially over yaw torque, mirroring real mixers.
+        Commands are clipped to [0, max]; when saturated, yaw torque is shed
+        first and then collective thrust is scaled down so roll/pitch
+        authority survives, mirroring real attitude-priority mixers.
         """
         if total_thrust_n < 0:
             raise ValueError(f"thrust cannot be negative, got {total_thrust_n}")
@@ -61,10 +84,35 @@ class MotorMixer:
         if torque.shape != (3,):
             raise ValueError(f"torque must be a 3-vector, got shape {torque.shape}")
         wrench = np.concatenate([[total_thrust_n], torque])
+        ceilings = self.max_thrust_per_motor_n * self.motor_health
         thrusts = self._inverse @ wrench
-        if np.any(thrusts < 0.0) or np.any(thrusts > self.max_thrust_per_motor_n):
-            # Shed yaw authority first, then rescale towards hover.
+        if np.any(thrusts < 0.0) or np.any(thrusts > ceilings):
+            # Desaturate with attitude priority (what real mixers do): shed
+            # yaw first, then scale collective down until the roll/pitch
+            # torque fits inside the per-motor ceilings.  Losing a little
+            # altitude is recoverable; losing attitude authority flips the
+            # airframe.
             wrench_no_yaw = wrench.copy()
             wrench_no_yaw[3] *= 0.25
-            thrusts = self._inverse @ wrench_no_yaw
-        return np.clip(thrusts, 0.0, self.max_thrust_per_motor_n)
+            torque_part = self._inverse @ np.concatenate([[0.0], wrench_no_yaw[1:]])
+            collective_part = self._inverse[:, 0] * total_thrust_n
+            scale = 1.0
+            for torque_i, collective_i, ceiling_i in zip(
+                torque_part, collective_part, ceilings
+            ):
+                if collective_i > 1e-12:
+                    scale = min(scale, (ceiling_i - torque_i) / collective_i)
+            scale = float(np.clip(scale, self.MIN_COLLECTIVE_SCALE, 1.0))
+            thrusts = torque_part + scale * collective_part
+        self.mixes += 1
+        if np.any(thrusts > ceilings + 1e-9):
+            self.saturations += 1
+        return np.clip(thrusts, 0.0, ceilings)
+
+    def set_motor_health(self, motor_index: int, factor: float) -> None:
+        """Derate (or restore) one rotor's thrust ceiling."""
+        if not 0 <= motor_index < 4:
+            raise ValueError(f"motor index must be 0-3, got {motor_index}")
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"health factor must be in [0, 1], got {factor}")
+        self.motor_health[motor_index] = factor

@@ -1,0 +1,28 @@
+"""Deterministic fault injection and graceful-degradation scenarios.
+
+The reliability envelope of the paper's closed-loop stack: time-windowed
+fault schedules (:mod:`repro.faults.schedule`), injectors that land each
+fault in the right subsystem (:mod:`repro.faults.injectors`), and a
+scenario harness measuring survival, recovery time, and mission-completion
+degradation (:mod:`repro.faults.scenarios`).
+"""
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.injectors import FaultInjector
+from repro.faults.scenarios import (
+    Scenario,
+    ScenarioResult,
+    run_scenario,
+    standard_scenarios,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultInjector",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "standard_scenarios",
+]

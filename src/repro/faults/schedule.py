@@ -1,0 +1,126 @@
+"""Deterministic, composable fault schedules.
+
+A :class:`FaultSchedule` is a list of time-windowed :class:`FaultEvent`\\ s —
+the reliability envelope a run is flown under.  Schedules carry no
+randomness themselves: every stochastic element (burst-loss channels, sensor
+noise) lives behind an explicitly seeded generator, so the same schedule +
+the same seeds reproduces the same flight bit-for-bit, matching the repo's
+deterministic-catalog philosophy.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """Every injectable fault class, grouped by the subsystem it attacks."""
+
+    # Sensors (repro.sensors)
+    GPS_LOSS = "gps_loss"
+    IMU_BIAS = "imu_bias"
+    BARO_FREEZE = "baro_freeze"
+    # Power (repro.physics.battery_model)
+    BATTERY_SAG = "battery_sag"
+    BATTERY_DRAIN = "battery_drain"
+    # Propulsion (repro.control.mixer / repro.physics.esc_model)
+    MOTOR_DEGRADATION = "motor_degradation"
+    ESC_THERMAL = "esc_thermal"
+    # Communication (repro.autopilot.mavlink)
+    LINK_BLACKOUT = "link_blackout"
+    LINK_BURST = "link_burst"
+    # Off-board compute (repro.autopilot.offload)
+    OFFLOAD_STALL = "offload_stall"
+    OFFLOAD_CRASH = "offload_crash"
+
+
+#: Kinds that interrupt the offload pose stream while active.
+OFFLOAD_KINDS = (FaultKind.OFFLOAD_STALL, FaultKind.OFFLOAD_CRASH)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault active over [start_s, end_s)."""
+
+    kind: FaultKind
+    start_s: float
+    end_s: float = math.inf
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"fault cannot start before t=0: {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"fault must end after it starts: [{self.start_s}, {self.end_s})"
+            )
+
+    @classmethod
+    def make(
+        cls, kind: FaultKind, start_s: float, end_s: float = math.inf, **params
+    ) -> "FaultEvent":
+        """Keyword-friendly constructor: params become the frozen tuple."""
+        return cls(
+            kind=kind,
+            start_s=start_s,
+            end_s=end_s,
+            params=tuple(sorted((k, float(v)) for k, v in params.items())),
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def active(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered, composable set of fault events for one run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.start_s, e.kind.value))
+
+    def add(
+        self, kind: FaultKind, start_s: float, end_s: float = math.inf, **params
+    ) -> "FaultSchedule":
+        """Append an event (fluent: returns self)."""
+        self.events.append(FaultEvent.make(kind, start_s, end_s, **params))
+        self.events.sort(key=lambda e: (e.start_s, e.kind.value))
+        return self
+
+    def compose(self, other: "FaultSchedule") -> "FaultSchedule":
+        """A new schedule containing both runs' events."""
+        return FaultSchedule(events=list(self.events) + list(other.events))
+
+    def active(self, time_s: float) -> List[FaultEvent]:
+        return [event for event in self.events if event.active(time_s)]
+
+    def offload_blocked(self, time_s: float) -> bool:
+        """True while any off-board-compute fault interrupts the pose stream."""
+        return any(
+            event.kind in OFFLOAD_KINDS for event in self.active(time_s)
+        )
+
+    def windows(self, kind: FaultKind) -> Sequence[Tuple[float, float]]:
+        """(start, end) windows of every event of ``kind`` — the format the
+        offload node's stall/crash parameters take."""
+        return tuple(
+            (event.start_s, event.end_s)
+            for event in self.events
+            if event.kind is kind
+        )
+
+    @property
+    def first_fault_s(self) -> float:
+        """Onset of the earliest fault (inf for an empty schedule)."""
+        return self.events[0].start_s if self.events else math.inf
+
+    def __len__(self) -> int:
+        return len(self.events)

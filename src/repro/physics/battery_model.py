@@ -32,6 +32,9 @@ class LipoBattery:
     internal_resistance_ohm_per_cell: float = 0.006
     drain_limit: float = constants.LIPO_DRAIN_LIMIT
     used_mah: float = field(default=0.0)
+    #: Extra pack-level series resistance injected by a fault (aged cells,
+    #: a failing connector) — adds straight to voltage sag under load.
+    fault_resistance_ohm: float = field(default=0.0)
 
     def __post_init__(self) -> None:
         if not 1 <= self.cells <= 12:
@@ -44,6 +47,8 @@ class LipoBattery:
             raise ValueError(f"drain limit must be in (0, 1], got {self.drain_limit}")
         if self.used_mah < 0:
             raise ValueError("used capacity cannot be negative")
+        if self.fault_resistance_ohm < 0:
+            raise ValueError("fault resistance cannot be negative")
 
     @property
     def nominal_voltage_v(self) -> float:
@@ -93,8 +98,19 @@ class LipoBattery:
         """Pack voltage under ``load_current_a`` amps of load (with sag)."""
         if load_current_a < 0:
             raise ValueError(f"load current must be non-negative, got {load_current_a}")
-        sag = load_current_a * self.internal_resistance_ohm_per_cell * self.cells
-        return max(0.0, self.open_circuit_voltage_v() - sag)
+        resistance = (
+            self.internal_resistance_ohm_per_cell * self.cells
+            + self.fault_resistance_ohm
+        )
+        return max(0.0, self.open_circuit_voltage_v() - load_current_a * resistance)
+
+    def inject_drain(self, drain_mah: float) -> None:
+        """Deterministically consume capacity (fault injection: a cell going
+        bad, a miscalibrated fuel gauge).  Clamped at full capacity so the
+        model stays consistent; the drain-limit failsafe sees the loss."""
+        if drain_mah < 0:
+            raise ValueError(f"drain cannot be negative, got {drain_mah}")
+        self.used_mah = min(self.capacity_mah, self.used_mah + drain_mah)
 
     def draw(self, current_a: float, duration_s: float) -> float:
         """Draw ``current_a`` for ``duration_s`` seconds; return energy (J).
@@ -129,5 +145,6 @@ class LipoBattery:
         return self.remaining_mah * 3.6 / average_current_a
 
     def reset(self) -> None:
-        """Recharge the pack to full."""
+        """Recharge the pack to full (and clear injected faults)."""
         self.used_mah = 0.0
+        self.fault_resistance_ohm = 0.0

@@ -20,7 +20,11 @@ class Barometer:
     noise_m: float = 0.3
     bias_m: float = 0.0
     seed: int = 2
+    #: Fault flag: a frozen barometer keeps reporting its last altitude
+    #: (a real failure mode — clogged static port, stuck conversion).
+    frozen: bool = False
     samples: int = field(default=0)
+    _last_altitude_m: float = field(default=0.0, repr=False)
     _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -37,11 +41,14 @@ class Barometer:
     def sample(self, state: QuadcopterState) -> float:
         """Altitude measurement (m) with noise and bias."""
         self.samples += 1
-        return (
+        if self.frozen:
+            return self._last_altitude_m
+        self._last_altitude_m = (
             float(state.position_m[2])
             + self.bias_m
             + float(self._rng.normal(0.0, self.noise_m))
         )
+        return self._last_altitude_m
 
     def pressure_pa(self, state: QuadcopterState) -> float:
         """Raw pressure reading (Pa) — what the sensor physically measures."""
@@ -56,3 +63,5 @@ class Barometer:
     def reset(self) -> None:
         self._rng = np.random.default_rng(self.seed)
         self.samples = 0
+        self.frozen = False
+        self._last_altitude_m = 0.0

@@ -53,9 +53,19 @@ class SensorSuite:
     magnetometer: Magnetometer = field(default_factory=Magnetometer)
     _time_s: float = field(default=0.0)
     _due: Dict[str, float] = field(default_factory=dict)
+    _last_gps_fix_s: float = field(default=0.0)
 
     def __post_init__(self) -> None:
         self._due = {"imu": 0.0, "baro": 0.0, "gps": 0.0, "mag": 0.0}
+
+    def gps_fix_age_s(self) -> float:
+        """Seconds since the last successful GPS fix (0 before any polling).
+
+        This is the signal the autopilot's GPS-loss failsafe watches: a
+        denied/indoor receiver keeps getting polled but produces no fix, so
+        the age keeps growing.
+        """
+        return self._time_s - self._last_gps_fix_s
 
     def poll(self, state: QuadcopterState, dt: float) -> SensorReadings:
         """Advance time by ``dt`` and fire every sensor whose period elapsed."""
@@ -84,6 +94,7 @@ class SensorSuite:
             )
             try:
                 readings.gps_position_m = self.gps.sample(state)
+                self._last_gps_fix_s = self._time_s
             except GpsUnavailableError:
                 readings.gps_position_m = None
         if self._time_s + 1e-12 >= self._due["mag"]:
@@ -109,3 +120,4 @@ class SensorSuite:
         self.magnetometer.reset()
         self._time_s = 0.0
         self._due = {"imu": 0.0, "baro": 0.0, "gps": 0.0, "mag": 0.0}
+        self._last_gps_fix_s = 0.0
