@@ -1,0 +1,49 @@
+"""Static-analysis suite for the drone design-space reproduction.
+
+The paper's Equations 1-7 chain watts, newtons, kilograms, and rad/s through
+a dozen modules, and the fault matrix promises bit-for-bit reproducibility
+per seed.  Both properties are conventions until something checks them; this
+package checks them mechanically with four AST-based passes:
+
+``units``
+    Dimensional analysis driven by the variable-name suffix convention
+    (``_kg``, ``_w``, ``_n``, ``_m_s`` ...).  Flags additions, subtractions,
+    comparisons, and keyword-argument bindings that mix incompatible units.
+
+``determinism``
+    Flags unseeded global RNG use (``np.random.*``, ``random.*``),
+    wall-clock reads (``time.time``, ``datetime.now``) and iteration over
+    unordered sets — anything that would break the seedable-scenario
+    guarantee.
+
+``hotpath``
+    A ``@hot_path`` marker for inner-loop code (controllers, mixer,
+    estimator, sensor ``step``/``sample``) plus a lint that forbids
+    comprehension allocation, file I/O, string formatting, and eager logging
+    inside marked functions, and verifies resolvable transitive callees are
+    marked too.
+
+``config``
+    Dataclasses used as shared configuration must be ``frozen=True`` or
+    explicitly registered as mutable state with ``@mutable_state``.
+
+Run it with ``python -m repro.analysis src/``.  Suppress a finding on one
+line with ``# lint: ignore[rule-id]`` (plus a justification).
+"""
+
+from repro.analysis.base import Violation, SourceFile, ALL_RULES
+from repro.analysis.markers import hot_path, hot_path_safe, mutable_state
+from repro.analysis.runner import analyze_paths, analyze_sources, format_human, format_json
+
+__all__ = [
+    "Violation",
+    "SourceFile",
+    "ALL_RULES",
+    "hot_path",
+    "hot_path_safe",
+    "mutable_state",
+    "analyze_paths",
+    "analyze_sources",
+    "format_human",
+    "format_json",
+]

@@ -1,0 +1,68 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when clean, 1 when violations are found, 2 on usage
+errors — the same contract CI relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.base import ALL_RULES
+from repro.analysis.runner import (
+    analyze_paths,
+    format_human,
+    format_json,
+    list_rules,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint suite: units, determinism, hot-path, config immutability.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        unknown = [rule for rule in rules if rule not in ALL_RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        violations = analyze_paths(args.paths, rules=rules)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(format_json(violations) if args.json else format_human(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Config-immutability pass.
+
+A design point in this repo is a *value*: once a scenario starts, its
+component specs, platform profiles, and control rates must not drift.
+Dataclasses whose names mark them as shared configuration
+(``*Spec``, ``*Config``, ``*Profile`` ...) must therefore be declared
+``frozen=True`` — or explicitly opt out with ``@mutable_state`` (see
+:mod:`repro.analysis.markers`), which doubles as documentation that the
+class really is accumulating state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import Checker, SourceFile, Violation, decorator_name
+
+#: Class-name suffixes that mark a dataclass as shared configuration.
+CONFIG_SUFFIXES = (
+    "Config",
+    "Spec",
+    "Specs",
+    "Settings",
+    "Params",
+    "Profile",
+    "Rates",
+    "Limits",
+    "Gains",
+    "Options",
+)
+
+
+class ConfigChecker(Checker):
+    """Require config-shaped dataclasses to be frozen or @mutable_state."""
+
+    rules = ("config-mutable",)
+
+    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+        out: List[Violation] = []
+        for src in files:
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if not node.name.endswith(CONFIG_SUFFIXES):
+                    continue
+                frozen = self._dataclass_frozen(node)
+                if frozen is None:  # not a dataclass at all
+                    continue
+                if frozen:
+                    continue
+                if any(
+                    decorator_name(d) == "mutable_state" for d in node.decorator_list
+                ):
+                    continue
+                self.emit(
+                    out,
+                    src,
+                    "config-mutable",
+                    node,
+                    f"dataclass {node.name} looks like shared config; declare "
+                    "@dataclass(frozen=True) or register it with @mutable_state",
+                )
+        return out
+
+    @staticmethod
+    def _dataclass_frozen(node: ast.ClassDef) -> Optional[bool]:
+        """None if not a dataclass; else whether frozen=True is set."""
+        for deco in node.decorator_list:
+            if decorator_name(deco) != "dataclass":
+                continue
+            if isinstance(deco, ast.Call):
+                for keyword in deco.keywords:
+                    if keyword.arg == "frozen":
+                        value = keyword.value
+                        return bool(
+                            isinstance(value, ast.Constant) and value.value is True
+                        )
+                return False
+            return False
+        return None

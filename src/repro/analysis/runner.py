@@ -1,0 +1,83 @@
+"""Discover files, run every pass, and format the results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.base import ALL_RULES, Checker, SourceFile, Violation
+from repro.analysis.config import ConfigChecker
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.hotpath import HotPathChecker
+from repro.analysis.units import UnitsChecker
+
+
+def default_checkers() -> List[Checker]:
+    return [UnitsChecker(), DeterminismChecker(), HotPathChecker(), ConfigChecker()]
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(str(p) for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.append(str(path))
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return sorted(set(found))
+
+
+def analyze_sources(
+    files: Iterable[SourceFile],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Run all passes over already-parsed sources; optionally filter rules."""
+    file_list = [src for src in files if not src.skip_all]
+    violations: List[Violation] = []
+    for checker in default_checkers():
+        if rules is not None and not set(checker.rules) & set(rules):
+            continue
+        violations.extend(checker.check(file_list))
+    if rules is not None:
+        violations = [v for v in violations if v.rule in rules]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Parse and analyze every ``.py`` file under ``paths``."""
+    sources = [SourceFile.parse(path) for path in discover(paths)]
+    return analyze_sources(sources, rules=rules)
+
+
+def format_human(violations: Sequence[Violation]) -> str:
+    if not violations:
+        return "analysis: clean (0 violations)"
+    lines = [v.render() for v in violations]
+    by_rule: dict = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    summary = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"analysis: {len(violations)} violation(s) ({summary})")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+    )
+
+
+def list_rules() -> str:
+    width = max(len(rule) for rule in ALL_RULES)
+    return "\n".join(f"{rule.ljust(width)}  {desc}" for rule, desc in ALL_RULES.items())

@@ -1,0 +1,243 @@
+"""Units pass: dimensional analysis over variable-name suffix conventions.
+
+The repo encodes units in names — ``mass_kg``, ``thrust_n``, ``rate_hz``,
+``velocity_m_s`` — which makes the paper's Eq. 1-7 arithmetic auditable by
+machine.  A :class:`Unit` is a vector of base-dimension exponents (mass,
+length, time, current, temperature, angle) plus a scale tag, so quantities
+with the same dimension but different magnitudes (``_g`` vs ``_kg``,
+``_rpm`` vs ``_rad_s``, ``_wh`` vs ``_j``, ``_c`` vs ``_k``) still refuse
+to add.
+
+The pass flags:
+
+* ``a + b`` / ``a - b`` / ``a += b`` where both operands carry known,
+  different units;
+* comparisons (``a < b`` etc.) between known, different units;
+* keyword arguments whose name carries one unit while the value carries
+  another (``f(mass_kg=thrust_n)``).
+
+Multiplication and division intentionally pass: they legitimately derive
+new units, and the result's unit is recorded in the *receiving* name.
+Calls contribute units through the callee's name suffix
+(``air_density_kg_m3(...)`` is a ``kg_m3`` expression).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import Checker, SourceFile, Violation
+
+#: Base-dimension exponents: (mass, length, time, current, temperature, angle).
+Dims = Tuple[int, int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A physical unit: dimension vector plus a scale/offset family tag.
+
+    ``scale`` separates same-dimension units that must not mix directly
+    (grams vs kilograms, rpm vs rad/s, Wh vs J, Celsius vs Kelvin).
+    """
+
+    name: str
+    dims: Dims
+    scale: str = ""
+
+    def compatible(self, other: "Unit") -> bool:
+        return self.dims == other.dims and self.scale == other.scale
+
+
+def _u(name: str, dims: Dims, scale: str = "") -> Unit:
+    return Unit(name=name, dims=dims, scale=scale)
+
+
+_MASS: Dims = (1, 0, 0, 0, 0, 0)
+_LEN: Dims = (0, 1, 0, 0, 0, 0)
+_TIME: Dims = (0, 0, 1, 0, 0, 0)
+_CURR: Dims = (0, 0, 0, 1, 0, 0)
+_TEMP: Dims = (0, 0, 0, 0, 1, 0)
+_ANGLE: Dims = (0, 0, 0, 0, 0, 1)
+_FORCE: Dims = (1, 1, -2, 0, 0, 0)
+_ENERGY: Dims = (1, 2, -2, 0, 0, 0)
+_POWER: Dims = (1, 2, -3, 0, 0, 0)
+
+#: Suffix token(s) -> unit.  Longest trailing token sequence wins, so
+#: ``velocity_m_s`` resolves to m/s rather than seconds.
+SUFFIX_REGISTRY: Dict[str, Unit] = {
+    # mass
+    "kg": _u("kg", _MASS),
+    "g": _u("g", _MASS, scale="milli"),
+    # length / kinematics
+    "m": _u("m", _LEN),
+    "mm": _u("mm", _LEN, scale="milli"),
+    "m_s": _u("m/s", (0, 1, -1, 0, 0, 0)),
+    "m_s2": _u("m/s^2", (0, 1, -2, 0, 0, 0)),
+    "m_s3": _u("m/s^3", (0, 1, -3, 0, 0, 0)),
+    # time / frequency
+    "s": _u("s", _TIME),
+    "ms": _u("ms", _TIME, scale="milli"),
+    "us": _u("us", _TIME, scale="micro"),
+    "h": _u("h", _TIME, scale="hour"),
+    "hz": _u("Hz", (0, 0, -1, 0, 0, 0)),
+    "khz": _u("kHz", (0, 0, -1, 0, 0, 0), scale="kilo"),
+    "mhz": _u("MHz", (0, 0, -1, 0, 0, 0), scale="mega"),
+    "ghz": _u("GHz", (0, 0, -1, 0, 0, 0), scale="giga"),
+    "s2": _u("s^2", (0, 0, 2, 0, 0, 0)),
+    # angles and rotation
+    "rad": _u("rad", _ANGLE),
+    "deg": _u("deg", _ANGLE, scale="deg"),
+    "rad_s": _u("rad/s", (0, 0, -1, 0, 0, 1)),
+    "rad_s2": _u("rad/s^2", (0, 0, -2, 0, 0, 1)),
+    "deg_s": _u("deg/s", (0, 0, -1, 0, 0, 1), scale="deg"),
+    "rpm": _u("rpm", (0, 0, -1, 0, 0, 1), scale="rev_min"),
+    # mechanics
+    "n": _u("N", _FORCE),
+    "nm": _u("N*m", _ENERGY, scale="torque"),
+    "j": _u("J", _ENERGY),
+    "wh": _u("Wh", _ENERGY, scale="watt_hour"),
+    "kg_m2": _u("kg*m^2", (1, 2, 0, 0, 0, 0)),
+    "kg_m3": _u("kg/m^3", (1, -3, 0, 0, 0, 0)),
+    "pa": _u("Pa", (1, -1, -2, 0, 0, 0)),
+    # electrical
+    "w": _u("W", _POWER),
+    "kw": _u("kW", _POWER, scale="kilo"),
+    "v": _u("V", (1, 2, -3, -1, 0, 0)),
+    "a": _u("A", _CURR),
+    "ah": _u("Ah", (0, 0, 1, 1, 0, 0), scale="amp_hour"),
+    "mah": _u("mAh", (0, 0, 1, 1, 0, 0), scale="milliamp_hour"),
+    "ohm": _u("ohm", (1, 2, -3, -2, 0, 0)),
+    # thermal
+    "k": _u("K", _TEMP),
+    "c": _u("degC", _TEMP, scale="celsius"),
+    "k_w": _u("K/W", (-1, -2, 3, 0, 1, 0)),
+    # dimensionless families kept distinct from raw numbers
+    "pct": _u("%", (0, 0, 0, 0, 0, 0), scale="percent"),
+    "db": _u("dB", (0, 0, 0, 0, 0, 0), scale="decibel"),
+}
+
+#: Longest suffix (in underscore-separated tokens) we attempt to match.
+_MAX_SUFFIX_TOKENS = max(key.count("_") + 1 for key in SUFFIX_REGISTRY)
+
+
+def unit_of_name(name: str) -> Optional[Unit]:
+    """Unit carried by an identifier, per the suffix convention.
+
+    The identifier must have at least one underscore before the suffix —
+    a bare ``m`` or ``s`` is a math variable, not a measurement.
+    """
+    tokens = name.lower().strip("_").split("_")
+    if len(tokens) < 2:
+        return None
+    for width in range(min(_MAX_SUFFIX_TOKENS, len(tokens) - 1), 0, -1):
+        candidate = "_".join(tokens[-width:])
+        unit = SUFFIX_REGISTRY.get(candidate)
+        if unit is not None:
+            return unit
+    return None
+
+
+def unit_of_expr(node: ast.expr) -> Optional[Unit]:
+    """Unit of an expression, when the suffix convention can name one.
+
+    Handles identifiers, attribute tails (``self.mass_kg``), unary +/-,
+    and calls whose callee name carries a suffix (``drag_force_n(...)``).
+    Everything else — subscripts, arithmetic, literals — is unknown.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return unit_of_expr(node.operand)
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        return unit_of_expr(node.func)
+    return None
+
+
+class UnitsChecker(Checker):
+    """Flag additive/comparative mixing of incompatible units."""
+
+    rules = ("units-mismatch",)
+
+    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+        out: List[Violation] = []
+        for src in files:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    self._pair(out, src, node, node.left, node.right, _op_word(node.op))
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    self._pair(
+                        out, src, node, node.target, node.value, _op_word(node.op)
+                    )
+                elif isinstance(node, ast.Compare):
+                    left = node.left
+                    for op, right in zip(node.ops, node.comparators):
+                        if isinstance(
+                            op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+                        ):
+                            self._pair(out, src, node, left, right, "compared with")
+                        left = right
+                elif isinstance(node, ast.Call):
+                    self._keywords(out, src, node)
+        return out
+
+    def _pair(
+        self,
+        out: List[Violation],
+        src: SourceFile,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        verb: str,
+    ) -> None:
+        left_unit = unit_of_expr(left)
+        right_unit = unit_of_expr(right)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit.compatible(right_unit):
+            return
+        self.emit(
+            out,
+            src,
+            "units-mismatch",
+            node,
+            f"{_describe(left)} [{left_unit.name}] {verb} "
+            f"{_describe(right)} [{right_unit.name}]",
+        )
+
+    def _keywords(self, out: List[Violation], src: SourceFile, call: ast.Call) -> None:
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            param_unit = unit_of_name(keyword.arg)
+            value_unit = unit_of_expr(keyword.value)
+            if param_unit is None or value_unit is None:
+                continue
+            if param_unit.compatible(value_unit):
+                continue
+            self.emit(
+                out,
+                src,
+                "units-mismatch",
+                keyword.value,
+                f"argument {keyword.arg!r} [{param_unit.name}] bound to "
+                f"{_describe(keyword.value)} [{value_unit.name}]",
+            )
+
+
+def _op_word(op: ast.operator) -> str:
+    return "added to" if isinstance(op, ast.Add) else "subtracted from"
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our inputs
+        return "<expr>"

@@ -167,7 +167,7 @@ class Link:
     dropped: int = field(default=0)
     _queue: List[Tuple[float, bytes]] = field(default_factory=list)
     _sequence: int = field(default=0)
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -176,7 +176,8 @@ class Link:
             )
         if self.latency_s < 0 or self.jitter_s < 0:
             raise ValueError("latency and jitter cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
 
     @property
     def next_sequence(self) -> int:
@@ -188,6 +189,7 @@ class Link:
         self.time_s = max(self.time_s, time_s)
 
     def _lost(self) -> bool:
+        assert self._rng is not None  # seeded in __post_init__
         if self.blackout:
             return True
         if self.burst_model is not None:
@@ -206,6 +208,7 @@ class Link:
             return
         delivery_s = self.time_s + self.latency_s
         if self.jitter_s > 0.0:
+            assert self._rng is not None  # seeded in __post_init__
             delivery_s += float(self._rng.uniform(0.0, self.jitter_s))
         self._queue.append((delivery_s, message.encode()))
         self.delivered += 1

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.control.pid import PidController
 
 
@@ -42,6 +43,7 @@ class AttitudeController:
             for _ in range(3)
         ]
 
+    @hot_path
     def update(
         self,
         attitude_target_rad: np.ndarray,
@@ -64,12 +66,11 @@ class AttitudeController:
         rate_setpoint = np.clip(
             self.angle_kp * angle_error, -self.max_rate_rad_s, self.max_rate_rad_s
         )
-        normalized_torque = np.array(
-            [
-                pid.update(float(sp), float(rate), dt)
-                for pid, sp, rate in zip(self._rate_pids, rate_setpoint, rates)
-            ]
-        )
+        normalized_torque = np.empty(3)
+        for axis in range(3):
+            normalized_torque[axis] = self._rate_pids[axis].update(
+                float(rate_setpoint[axis]), float(rates[axis]), dt
+            )
         self.updates += 1
         # Scale by inertia so gains are airframe-size independent.
         return self.inertia_kg_m2 @ normalized_torque

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.control.attitude import AttitudeController
 from repro.control.mixer import MotorMixer
 from repro.control.position import (
@@ -127,6 +128,7 @@ class HierarchicalController:
 
     # -- inner loop ------------------------------------------------------------
 
+    @hot_path
     def tick(self, state: QuadcopterState, dt: float) -> np.ndarray:
         """Advance the cascade by one thrust-loop period; returns motor thrusts.
 

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 
 STATE_SIZE = 9  # [px py pz vx vy vz roll pitch yaw]
@@ -54,6 +55,7 @@ class InsEkf:
         """[roll, pitch, yaw] estimate."""
         return self.state[6:9]
 
+    @hot_path
     def predict(
         self,
         accel_body_m_s2: np.ndarray,
@@ -88,6 +90,7 @@ class InsEkf:
         self.flops += 2 * STATE_SIZE**3 + 60
         self.predictions += 1
 
+    @hot_path
     def update_gps(self, position_m: np.ndarray) -> None:
         """Horizontal position correction (GPS runs at 1-40 Hz, Table 2a)."""
         measurement = np.asarray(position_m, dtype=float)
@@ -98,6 +101,7 @@ class InsEkf:
         h[1, 1] = 1.0
         self._correct(measurement[0:2], h, np.eye(2) * self.gps_noise_m**2)
 
+    @hot_path
     def update_barometer(self, altitude_m: float) -> None:
         """Altitude correction (barometer runs at 10-20 Hz, Table 2a)."""
         h = np.zeros((1, STATE_SIZE))
@@ -106,6 +110,7 @@ class InsEkf:
             np.array([altitude_m]), h, np.array([[self.baro_noise_m**2]])
         )
 
+    @hot_path
     def update_magnetometer(self, yaw_rad: float) -> None:
         """Heading correction (magnetometer runs at 10 Hz, Table 2a)."""
         h = np.zeros((1, STATE_SIZE))
@@ -115,6 +120,7 @@ class InsEkf:
             np.array([innovation_wrap]), h, np.array([[self.mag_noise_rad**2]])
         )
 
+    @hot_path
     def _correct(
         self, measurement: np.ndarray, h: np.ndarray, noise: np.ndarray
     ) -> None:
@@ -156,6 +162,7 @@ class ComplementaryFilter:
         if self.time_constant_s <= 0:
             raise ValueError("time constant must be positive")
 
+    @hot_path
     def update(
         self, accel_body_m_s2: np.ndarray, gyro_rad_s: np.ndarray, dt: float
     ) -> np.ndarray:
@@ -181,6 +188,7 @@ class ComplementaryFilter:
         return 30
 
 
+@hot_path
 def _rotation_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
     cr, sr = math.cos(roll), math.sin(roll)
     cp, sp = math.cos(pitch), math.sin(pitch)
@@ -194,6 +202,7 @@ def _rotation_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
     )
 
 
+@hot_path
 def _euler_rates(roll: float, pitch: float, gyro: np.ndarray) -> np.ndarray:
     """Body rates -> Euler angle rates (standard kinematic transform)."""
     cr, sr = math.cos(roll), math.sin(roll)
@@ -211,5 +220,6 @@ def _euler_rates(roll: float, pitch: float, gyro: np.ndarray) -> np.ndarray:
     return transform @ gyro
 
 
+@hot_path
 def _wrap_angle(angle: float) -> float:
     return (angle + math.pi) % (2.0 * math.pi) - math.pi

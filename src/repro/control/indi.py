@@ -19,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
+
 
 @dataclass
 class IndiRateController:
@@ -31,9 +33,9 @@ class IndiRateController:
     filter_time_constant_s: float = 0.012
     max_torque_nm: float = 1.0
     updates: int = field(default=0)
-    _filtered_accel: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _filtered_accel: np.ndarray = field(init=False, repr=False)
     _last_rates: Optional[np.ndarray] = field(default=None, repr=False)
-    _torque: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _torque: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.inertia_kg_m2 = np.asarray(self.inertia_kg_m2, dtype=float)
@@ -49,6 +51,7 @@ class IndiRateController:
         self._last_rates = None
         self._torque = np.zeros(3)
 
+    @hot_path
     def update(
         self,
         rate_setpoint_rad_s: np.ndarray,

@@ -9,8 +9,11 @@ update.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+
+from repro.analysis.markers import hot_path
 
 # Must match the layout in repro.physics.rigid_body.
 _ROTOR_ANGLES = np.deg2rad([45.0, 225.0, 135.0, 315.0])
@@ -34,7 +37,7 @@ class MotorMixer:
     arm_length_m: float
     torque_thrust_ratio_m: float = 0.016
     max_thrust_per_motor_n: float = 10.0
-    motor_health: np.ndarray = None  # type: ignore[assignment]
+    motor_health: Optional[np.ndarray] = None
     #: Allocation statistics: total mixes and how many hit a thrust ceiling.
     #: The autopilot's thrust-saturation failsafe watches the ratio.
     mixes: int = 0
@@ -67,6 +70,7 @@ class MotorMixer:
         )
         self._inverse = np.linalg.inv(mixing)
 
+    @hot_path
     def mix(
         self,
         total_thrust_n: float,

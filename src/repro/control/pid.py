@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.analysis.markers import hot_path
+
 
 @dataclass
 class PidController:
@@ -36,6 +38,7 @@ class PidController:
         if self.integral_limit is not None and self.integral_limit <= 0:
             raise ValueError("integral limit must be positive")
 
+    @hot_path
     def update(self, setpoint: float, measurement: float, dt: float) -> float:
         """One control step; returns the actuation command."""
         if dt <= 0:

@@ -15,6 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.control.pid import PidController
 from repro.physics import constants
 
@@ -37,6 +38,7 @@ class VelocityController:
             for _ in range(3)
         ]
 
+    @hot_path
     def update(
         self,
         velocity_target_m_s: np.ndarray,
@@ -47,12 +49,11 @@ class VelocityController:
             raise ValueError(f"dt must be positive, got {dt}")
         target = np.asarray(velocity_target_m_s, dtype=float)
         velocity = np.asarray(velocity_m_s, dtype=float)
-        accel = np.array(
-            [
-                pid.update(float(t), float(v), dt)
-                for pid, t, v in zip(self._pids, target, velocity)
-            ]
-        )
+        accel = np.empty(3)
+        for axis in range(3):
+            accel[axis] = self._pids[axis].update(
+                float(target[axis]), float(velocity[axis]), dt
+            )
         self.updates += 1
         norm = float(np.linalg.norm(accel))
         if norm > self.max_acceleration_m_s2:
@@ -84,6 +85,7 @@ class PositionController:
         if self.max_velocity_m_s <= 0:
             raise ValueError("max velocity must be positive")
 
+    @hot_path
     def update(
         self,
         position_target_m: np.ndarray,
@@ -112,6 +114,7 @@ class PositionController:
         return 12 + self.velocity.flops_per_update
 
 
+@hot_path
 def acceleration_to_attitude_thrust(
     acceleration_m_s2: np.ndarray,
     yaw_target_rad: float,

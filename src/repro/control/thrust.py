@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.control.mixer import MotorMixer
 
 
@@ -22,7 +23,7 @@ class ThrustController:
     mixer: MotorMixer
     motor_time_constant_s: float = 0.030
     updates: int = field(default=0)
-    _thrusts_n: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _thrusts_n: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.motor_time_constant_s <= 0:
@@ -34,6 +35,7 @@ class ThrustController:
         """Current (lagged) per-motor thrusts."""
         return self._thrusts_n.copy()
 
+    @hot_path
     def update(
         self,
         collective_thrust_n: float,

@@ -10,7 +10,7 @@ maneuvering loads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class SweepResult:
             return None
         return max(candidates, key=lambda p: p.flight_time_min)
 
-    def weight_range_g(self) -> tuple:
+    def weight_range_g(self) -> Tuple[float, float]:
         if not self.points:
             raise ValueError("sweep produced no feasible points")
         weights = [p.weight_g for p in self.points]
@@ -99,7 +99,7 @@ def sweep_wheelbase(
     sensors_weight_g: float = 0.0,
     payload_g: float = 0.0,
     twr: float = constants.MIN_FLYABLE_TWR,
-    avionics_weight_g: float = None,
+    avionics_weight_g: Optional[float] = None,
 ) -> SweepResult:
     """Sweep battery capacity and cell count for one wheelbase (Fig 10a-c).
 

@@ -10,7 +10,7 @@ asserted by the test suite and reported by the Figure 7/8 benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -128,7 +128,7 @@ class MotorCurrentCurve:
 def motor_current_curves(
     wheelbase_mm: float,
     cell_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
-    basic_weights_g: Sequence[float] = None,
+    basic_weights_g: Optional[Sequence[float]] = None,
     twr: float = constants.MIN_FLYABLE_TWR,
     basic_to_total_ratio: float = 1.45,
 ) -> List[MotorCurrentCurve]:

@@ -9,7 +9,7 @@ same axes as the swept curves; it also builds Figure 11's small-drone study
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.components.commercial import (
     COMMERCIAL_DRONES,
@@ -127,7 +127,7 @@ def figure11_small_drone_study(
 
 def baseline_compute_share_range(
     baseline_compute_w: float = 1.0,
-) -> tuple:
+) -> Tuple[float, float]:
     """The 2-7% hover-compute band the paper reports for small drones."""
     shares = [
         drones_by_name()[name].heavy_compute_share_hovering(baseline_compute_w)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 
 
@@ -77,6 +78,7 @@ class LipoBattery:
     def depleted(self) -> bool:
         return self.remaining_mah <= 0.0
 
+    @hot_path
     def open_circuit_voltage_v(self) -> float:
         """Open-circuit pack voltage from state of charge.
 
@@ -94,6 +96,7 @@ class LipoBattery:
             )
         return cell_v * self.cells
 
+    @hot_path
     def terminal_voltage_v(self, load_current_a: float) -> float:
         """Pack voltage under ``load_current_a`` amps of load (with sag)."""
         if load_current_a < 0:
@@ -112,6 +115,7 @@ class LipoBattery:
             raise ValueError(f"drain cannot be negative, got {drain_mah}")
         self.used_mah = min(self.capacity_mah, self.used_mah + drain_mah)
 
+    @hot_path
     def draw(self, current_a: float, duration_s: float) -> float:
         """Draw ``current_a`` for ``duration_s`` seconds; return energy (J).
 

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 
 
@@ -30,8 +31,8 @@ class Wind:
     gust_speed_m_s: float = 0.0
     correlation_time_s: float = 1.5
     seed: int = 0
-    _state: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _state: np.ndarray = field(init=False, repr=False)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.gust_speed_m_s < 0:
@@ -39,13 +40,16 @@ class Wind:
         if self.correlation_time_s <= 0:
             raise ValueError("gust correlation time must be positive")
         self._state = np.zeros(3)
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
 
+    @hot_path
     def step(self, dt: float) -> np.ndarray:
         """Advance the gust process by ``dt`` and return the wind vector (m/s)."""
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         if self.gust_speed_m_s > 0:
+            assert self._rng is not None  # seeded in __post_init__
             alpha = math.exp(-dt / self.correlation_time_s)
             noise_scale = self.gust_speed_m_s * math.sqrt(1.0 - alpha * alpha)
             self._state = alpha * self._state + noise_scale * self._rng.standard_normal(3)
@@ -67,6 +71,7 @@ class Environment:
     def air_density(self) -> float:
         return constants.air_density_kg_m3(self.altitude_m, self.temperature_offset_k)
 
+    @hot_path
     def drag_force_n(
         self,
         velocity_m_s: np.ndarray,

@@ -13,7 +13,7 @@ that produces those switching frequencies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 #: DShot variants and their bit rates (kbit/s).
 DSHOT_BITRATES_KBPS = {150: 150.0, 300: 300.0, 600: 600.0, 1200: 1200.0}
@@ -109,7 +109,7 @@ class DshotLink:
     sent: int = 0
     rejected: int = 0
     #: Optional deterministic fault injector: frame -> corrupted frame.
-    corruption_hook: object = None
+    corruption_hook: Optional[Callable[[int], int]] = None
 
     def __post_init__(self) -> None:
         if self.variant not in DSHOT_BITRATES_KBPS:

@@ -16,9 +16,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 
 
+@hot_path
 def ideal_hover_power_w(
     thrust_n: float,
     disk_area_m2: float,
@@ -37,6 +39,7 @@ def ideal_hover_power_w(
     return thrust_n ** 1.5 / math.sqrt(2.0 * air_density * disk_area_m2)
 
 
+@hot_path
 def hover_electrical_power_w(
     thrust_n: float,
     diameter_inch: float,

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 from repro.physics.environment import Environment, Wind
 
@@ -27,6 +28,7 @@ _ROTOR_ANGLES = np.deg2rad([45.0, 225.0, 135.0, 315.0])
 _ROTOR_SPIN = np.array([1.0, 1.0, -1.0, -1.0])
 
 
+@hot_path
 def quaternion_to_rotation(q: np.ndarray) -> np.ndarray:
     """Rotation matrix (world from body) from a unit quaternion [w, x, y, z]."""
     w, x, y, z = q
@@ -39,6 +41,7 @@ def quaternion_to_rotation(q: np.ndarray) -> np.ndarray:
     )
 
 
+@hot_path
 def quaternion_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Hamilton product a*b of two [w, x, y, z] quaternions."""
     aw, ax, ay, az = a
@@ -53,6 +56,7 @@ def quaternion_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     )
 
 
+@hot_path
 def quaternion_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
     """Unit quaternion from ZYX Euler angles (radians)."""
     cr, sr = math.cos(roll / 2), math.sin(roll / 2)
@@ -68,6 +72,7 @@ def quaternion_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
     )
 
 
+@hot_path
 def euler_from_quaternion(q: np.ndarray) -> np.ndarray:
     """ZYX Euler angles [roll, pitch, yaw] (radians) from a unit quaternion."""
     w, x, y, z = q
@@ -138,9 +143,10 @@ class QuadcopterBody:
         """Per-motor thrust (N) that exactly balances gravity."""
         return self.mass_kg * constants.GRAVITY_M_S2 / 4.0
 
+    @hot_path
     def wrench_from_motor_thrusts(
         self, thrusts_n: np.ndarray, torque_thrust_ratio_m: float = 0.016
-    ) -> tuple:
+    ) -> Tuple[float, np.ndarray]:
         """Body-frame total force (z only) and torque from per-motor thrusts.
 
         ``torque_thrust_ratio_m`` maps rotor thrust to reaction torque
@@ -159,6 +165,7 @@ class QuadcopterBody:
         torque_yaw = float(np.sum(_ROTOR_SPIN * thrusts) * torque_thrust_ratio_m)
         return total_thrust, np.array([torque_roll, torque_pitch, torque_yaw])
 
+    @hot_path
     def step(self, thrusts_n: np.ndarray, dt: float) -> QuadcopterState:
         """Advance dynamics by ``dt`` seconds under per-motor thrusts (N).
 
@@ -189,6 +196,7 @@ class QuadcopterBody:
 
         omega = state.angular_velocity_rad_s
         inertia = self.inertia_kg_m2
+        assert inertia is not None  # materialized in __post_init__
         omega_dot = np.linalg.solve(
             inertia, body_torque - np.cross(omega, inertia @ omega)
         )

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 from repro.physics.rigid_body import QuadcopterState
 
@@ -25,24 +27,27 @@ class Barometer:
     frozen: bool = False
     samples: int = field(default=0)
     _last_altitude_m: float = field(default=0.0, repr=False)
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.1 <= self.rate_hz <= 1000.0:
             raise ValueError(f"barometer rate out of range: {self.rate_hz} Hz")
         if self.noise_m < 0:
             raise ValueError("noise cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
 
     @property
     def period_s(self) -> float:
         return 1.0 / self.rate_hz
 
+    @hot_path
     def sample(self, state: QuadcopterState) -> float:
         """Altitude measurement (m) with noise and bias."""
         self.samples += 1
         if self.frozen:
             return self._last_altitude_m
+        assert self._rng is not None  # seeded in __post_init__
         self._last_altitude_m = (
             float(state.position_m[2])
             + self.bias_m

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics.rigid_body import QuadcopterState
 
 GPS_RATE_RANGE_HZ = (1.0, 40.0)
@@ -21,7 +23,7 @@ class Gps:
     available: bool = True
     seed: int = 3
     samples: int = field(default=0)
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not GPS_RATE_RANGE_HZ[0] <= self.rate_hz <= GPS_RATE_RANGE_HZ[1]:
@@ -30,17 +32,20 @@ class Gps:
             )
         if self.horizontal_noise_m < 0 or self.vertical_noise_m < 0:
             raise ValueError("noise cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
 
     @property
     def period_s(self) -> float:
         return 1.0 / self.rate_hz
 
+    @hot_path
     def sample(self, state: QuadcopterState) -> np.ndarray:
         """Position fix (m, local frame).  Raises if the fix is unavailable
         (e.g. indoor flight) — callers must handle GPS-denied conditions."""
         if not self.available:
             raise GpsUnavailableError("no GPS fix (indoor or denied environment)")
+        assert self._rng is not None  # seeded in __post_init__
         noise = np.array(
             [
                 self._rng.normal(0.0, self.horizontal_noise_m),

@@ -8,10 +8,11 @@ something honest to fuse.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics import constants
 from repro.physics.rigid_body import QuadcopterState
 
@@ -29,21 +30,23 @@ class Imu:
     gyro_bias_rad_s: Tuple[float, float, float] = (0.0, 0.0, 0.0)
     seed: int = 1
     samples: int = field(default=0)
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
-    _last_velocity: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    _last_velocity: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 1.0 <= self.rate_hz <= 10_000.0:
             raise ValueError(f"IMU rate out of range: {self.rate_hz} Hz")
         if self.accel_noise_m_s2 < 0 or self.gyro_noise_rad_s < 0:
             raise ValueError("noise densities cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
         self._last_velocity = None
 
     @property
     def period_s(self) -> float:
         return 1.0 / self.rate_hz
 
+    @hot_path
     def sample(self, state: QuadcopterState, dt: float) -> Tuple[np.ndarray, np.ndarray]:
         """Return (accel_body m/s^2, gyro_body rad/s) for the current state.
 
@@ -53,6 +56,7 @@ class Imu:
         """
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
+        assert self._rng is not None  # seeded in __post_init__
         velocity = state.velocity_m_s
         if self._last_velocity is None:
             accel_world = np.zeros(3)

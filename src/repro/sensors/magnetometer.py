@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.physics.rigid_body import QuadcopterState
 
 MAG_RATE_HZ = 10.0
@@ -21,21 +23,24 @@ class Magnetometer:
     hard_iron_bias_rad: float = 0.0
     seed: int = 4
     samples: int = field(default=0)
-    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.1 <= self.rate_hz <= 1000.0:
             raise ValueError(f"magnetometer rate out of range: {self.rate_hz} Hz")
         if self.noise_rad < 0:
             raise ValueError("noise cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
 
     @property
     def period_s(self) -> float:
         return 1.0 / self.rate_hz
 
+    @hot_path
     def sample(self, state: QuadcopterState) -> float:
         """Yaw measurement (rad), wrapped to (-pi, pi]."""
+        assert self._rng is not None  # seeded in __post_init__
         yaw = float(state.euler_rad[2])
         measured = (
             yaw + self.hard_iron_bias_rad + float(self._rng.normal(0.0, self.noise_rad))

@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.sensors.barometer import Barometer
 from repro.sensors.gps import Gps, GpsUnavailableError
 from repro.sensors.imu import Imu
@@ -67,6 +68,7 @@ class SensorSuite:
         """
         return self._time_s - self._last_gps_fix_s
 
+    @hot_path
     def poll(self, state: QuadcopterState, dt: float) -> SensorReadings:
         """Advance time by ``dt`` and fire every sensor whose period elapsed."""
         if dt <= 0:

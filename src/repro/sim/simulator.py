@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.control.cascade import HierarchicalController
 from repro.control.estimation import InsEkf
 from repro.physics import constants
@@ -177,19 +178,21 @@ class FlightSimulator:
 
     # -- stepping -----------------------------------------------------------------
 
+    @hot_path
     def electrical_power_w(self, motor_thrusts_n: np.ndarray) -> float:
         """Instantaneous electrical power (W) at the given rotor thrusts."""
-        propulsion = sum(
-            hover_electrical_power_w(
-                max(0.0, float(t)),
-                self.model.propeller_inch,
+        propeller_inch = self.model.propeller_inch
+        propulsion = 0.0
+        for thrust in motor_thrusts_n:
+            propulsion += hover_electrical_power_w(
+                max(0.0, float(thrust)),
+                propeller_inch,
                 figure_of_merit=self._hover_eff,
                 drive_efficiency=1.0,
             )
-            for t in motor_thrusts_n
-        )
         return propulsion + self.model.compute_power_w + self.model.sensors_power_w
 
+    @hot_path
     def step(self) -> None:
         """Advance one physics tick: sense -> estimate -> control -> actuate."""
         dt = 1.0 / self.physics_rate_hz
@@ -260,6 +263,7 @@ class FlightSimulator:
         for _ in range(steps):
             self.step()
 
+    @hot_path
     def _estimated_state(self, truth: QuadcopterState) -> QuadcopterState:
         """EKF estimate packaged as a state for the controller.
 

@@ -29,7 +29,7 @@ class OccupancyGrid:
     resolution_m: float
     width: int
     height: int
-    occupied: np.ndarray = field(default=None)  # type: ignore[assignment]
+    occupied: Optional[np.ndarray] = field(default=None)
 
     def __post_init__(self) -> None:
         if self.resolution_m <= 0:

@@ -1,0 +1,27 @@
+"""Config fixture: frozen, mutable-marked, and plain mutable dataclasses."""
+
+from dataclasses import dataclass
+
+from repro.analysis.markers import mutable_state
+
+
+@dataclass
+class MotorConfig:
+    kv: float = 1000.0
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    wheelbase_mm: float = 450.0
+
+
+@mutable_state
+@dataclass
+class LinkParams:
+    retries: int = 0
+
+
+class PlainParams:
+    """Not a dataclass at all: out of scope for the rule."""
+
+    retries = 0

@@ -1,0 +1,31 @@
+"""Determinism fixture: unseeded RNGs, wall clocks, set iteration."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def noisy_sample() -> float:
+    noise = np.random.normal()
+    jitter = random.random()
+    stamp = time.time()
+    moment = datetime.now()
+    total = noise + jitter + stamp + moment.microsecond
+    for item in {3, 1, 2}:
+        total += item
+    return total
+
+
+def seeded_sample() -> float:
+    rng = np.random.default_rng(42)
+    local = random.Random(7)
+    total = float(rng.normal()) + local.random()
+    for item in sorted({3, 1, 2}):
+        total += item
+    return total
+
+
+def tolerated() -> float:
+    return time.time()  # lint: ignore[det-wallclock]

@@ -1,0 +1,51 @@
+"""Hot-path fixture: every body rule plus callee resolution."""
+
+from pathlib import Path
+
+from repro.analysis.markers import hot_path, hot_path_safe
+
+
+def unmarked_helper(x: float) -> float:
+    return x * 2.0
+
+
+@hot_path_safe
+def safe_helper(x: float) -> float:
+    return x + 1.0
+
+
+@hot_path
+def inner_loop(values: list, telemetry: Path) -> list:
+    doubled = [v * 2.0 for v in values]
+    handle = open("telemetry.csv")
+    text = telemetry.read_text()
+    banner = f"tick {len(values)}"
+    print(banner)
+    unmarked_helper(len(values))
+    safe_helper(len(values))
+    handle.close()
+    if not values:
+        raise ValueError(f"empty batch: {text}")
+    return doubled
+
+
+@hot_path
+def quiet_loop(values: list) -> float:
+    total = 0.0
+    for v in values:
+        total += safe_helper(v)
+    tolerated = [v for v in values]  # lint: ignore[hot-alloc]
+    return total + len(tolerated)
+
+
+class Driver:
+    def __init__(self) -> None:
+        self.count = 0
+
+    @hot_path
+    def tick(self) -> int:
+        self.bump()
+        return self.count
+
+    def bump(self) -> None:
+        self.count += 1

@@ -1,0 +1,24 @@
+"""Units fixture: incompatible-unit arithmetic (lines matter to the tests)."""
+
+
+def takeoff_margin(mass_kg: float, thrust_n: float, burn_time_s: float) -> float:
+    bad_sum = mass_kg + thrust_n
+    if thrust_n > burn_time_s:
+        bad_sum += 1.0
+    elapsed_ms = 250.0
+    elapsed_ms += burn_time_s
+    allowed = mass_kg + thrust_n  # lint: ignore[units-mismatch]
+    return bad_sum + allowed
+
+
+def log_weight(weight_g: float) -> None:
+    record_mass(mass_kg=weight_g)
+
+
+def record_mass(mass_kg: float) -> None:
+    del mass_kg
+
+
+def clean_math(mass_kg: float, payload_kg: float, thrust_n: float) -> float:
+    total_kg = mass_kg + payload_kg
+    return total_kg * thrust_n

@@ -1,0 +1,45 @@
+"""Tier-1 gate: the shipped source tree must pass its own static analysis.
+
+This is the enforcement point for the lint suite — any new violation in
+``src/`` fails the test suite, exactly like the CI lint job.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, format_human
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def test_source_tree_is_clean():
+    violations = analyze_paths([str(SRC)])
+    assert violations == [], "\n" + format_human(violations)
+
+
+def test_gate_covers_the_whole_package():
+    # Sanity check that the gate actually walked the tree (a path typo
+    # would make test_source_tree_is_clean pass vacuously).
+    from repro.analysis.runner import discover
+
+    files = discover([str(SRC)])
+    assert len(files) > 30
+    assert any(path.endswith("simulator.py") for path in files)
+
+
+def test_mypy_configuration_is_wired():
+    # The container may not ship mypy; the config contract still holds.
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.mypy]" in pyproject
+    assert 'module = "repro.analysis.*"' in pyproject
+    assert "disallow_untyped_defs" in pyproject
+
+
+def test_mypy_clean_when_available():
+    pytest.importorskip("mypy")
+    from mypy import api
+
+    stdout, stderr, status = api.run(["--config-file", str(REPO_ROOT / "pyproject.toml")])
+    assert status == 0, stdout + stderr

@@ -1,0 +1,193 @@
+"""Fixture-driven tests for the static-analysis rules.
+
+Each fixture under ``tests/fixtures/analysis`` contains deliberate
+violations at known line numbers next to clean or suppressed code, so
+these tests pin down the exact (rule, line) behavior of every pass.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    SourceFile,
+    analyze_paths,
+    analyze_sources,
+    format_human,
+    format_json,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def findings(name):
+    """(rule, line) pairs reported for one fixture file."""
+    violations = analyze_paths([str(FIXTURES / name)])
+    assert all(Path(v.path).name == name for v in violations)
+    return [(v.rule, v.line) for v in violations]
+
+
+class TestUnitsRule:
+    def test_exact_findings(self):
+        assert findings("units_bad.py") == [
+            ("units-mismatch", 5),  # mass_kg + thrust_n
+            ("units-mismatch", 6),  # thrust_n > burn_time_s
+            ("units-mismatch", 9),  # elapsed_ms += burn_time_s (scale mismatch)
+            ("units-mismatch", 15),  # mass_kg=weight_g keyword binding
+        ]
+
+    def test_suppression_comment_respected(self):
+        # Line 10 repeats the line-5 mismatch with # lint: ignore[units-mismatch].
+        assert ("units-mismatch", 10) not in findings("units_bad.py")
+
+    def test_messages_name_both_units(self):
+        violations = analyze_paths([str(FIXTURES / "units_bad.py")])
+        first = violations[0]
+        assert "[kg]" in first.message and "[N]" in first.message
+
+
+class TestDeterminismRules:
+    def test_exact_findings(self):
+        assert findings("determinism_bad.py") == [
+            ("det-global-rng", 11),  # np.random.normal()
+            ("det-global-rng", 12),  # random.random()
+            ("det-wallclock", 13),  # time.time()
+            ("det-wallclock", 14),  # datetime.now()
+            ("det-set-order", 16),  # for item in {3, 1, 2}
+        ]
+
+    def test_seeded_and_sorted_code_is_clean(self):
+        # seeded_sample() (lines 21-27) uses default_rng / random.Random /
+        # sorted(set) and must contribute nothing.
+        assert [pair for pair in findings("determinism_bad.py") if pair[1] >= 21] == []
+
+    def test_suppression_comment_respected(self):
+        assert ("det-wallclock", 30) not in findings("determinism_bad.py")
+
+
+class TestHotPathRules:
+    def test_exact_findings(self):
+        assert findings("hotpath_bad.py") == [
+            ("hot-alloc", 19),  # list comprehension
+            ("hot-io", 20),  # open()
+            ("hot-io", 21),  # telemetry.read_text()
+            ("hot-format", 22),  # f-string
+            ("hot-log", 23),  # print()
+            ("hot-callee", 24),  # unmarked_helper()
+            ("hot-callee", 47),  # self.bump() resolved through Driver
+        ]
+
+    def test_raise_path_is_exempt(self):
+        # Line 28 carries an f-string inside a raise: never reported.
+        assert all(line != 28 for _, line in findings("hotpath_bad.py"))
+
+    def test_safe_callee_not_flagged(self):
+        # safe_helper (@hot_path_safe) is called on lines 25 and 36.
+        assert all(line not in (25, 36) for _, line in findings("hotpath_bad.py"))
+
+    def test_suppression_comment_respected(self):
+        assert ("hot-alloc", 37) not in findings("hotpath_bad.py")
+
+
+class TestConfigRule:
+    def test_exact_findings(self):
+        assert findings("config_bad.py") == [("config-mutable", 9)]
+
+    def test_frozen_and_marked_classes_are_clean(self):
+        lines = [line for _, line in findings("config_bad.py")]
+        assert 14 not in lines  # FrameSpec is frozen=True
+        assert 20 not in lines  # LinkParams is @mutable_state
+
+
+class TestSuppressionMachinery:
+    def test_skip_file_pragma_silences_everything(self):
+        assert findings("skipped.py") == []
+
+    def test_bare_ignore_silences_all_rules_on_line(self):
+        src = SourceFile.parse(
+            "virtual.py",
+            "def f(mass_kg, thrust_n):\n"
+            "    return mass_kg + thrust_n  # lint: ignore\n",
+        )
+        assert analyze_sources([src]) == []
+
+    def test_ignore_for_other_rule_does_not_silence(self):
+        src = SourceFile.parse(
+            "virtual.py",
+            "def f(mass_kg, thrust_n):\n"
+            "    return mass_kg + thrust_n  # lint: ignore[hot-alloc]\n",
+        )
+        assert [v.rule for v in analyze_sources([src])] == ["units-mismatch"]
+
+
+class TestRunner:
+    def test_rule_filter(self):
+        only_io = analyze_paths([str(FIXTURES / "hotpath_bad.py")], rules=["hot-io"])
+        assert [(v.rule, v.line) for v in only_io] == [("hot-io", 20), ("hot-io", 21)]
+
+    def test_json_output_round_trips(self):
+        violations = analyze_paths([str(FIXTURES / "config_bad.py")])
+        payload = json.loads(format_json(violations))
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "config-mutable"
+        assert payload["violations"][0]["line"] == 9
+
+    def test_human_output_mentions_every_rule_fired(self):
+        violations = analyze_paths([str(FIXTURES / "determinism_bad.py")])
+        text = format_human(violations)
+        assert "det-global-rng=2" in text
+        assert "det-wallclock=2" in text
+        assert "det-set-order=1" in text
+
+    def test_every_emitted_rule_is_registered(self):
+        violations = analyze_paths([str(FIXTURES)])
+        assert {v.rule for v in violations} <= set(ALL_RULES)
+
+
+class TestCli:
+    @staticmethod
+    def run_cli(*args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+
+    def test_violations_exit_code_1(self):
+        proc = self.run_cli(str(FIXTURES / "config_bad.py"))
+        assert proc.returncode == 1
+        assert "config-mutable" in proc.stdout
+
+    def test_clean_file_exit_code_0(self):
+        proc = self.run_cli(str(FIXTURES / "skipped.py"))
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_missing_path_exit_code_2(self):
+        proc = self.run_cli(str(FIXTURES / "does_not_exist.quux"))
+        assert proc.returncode == 2
+
+    def test_json_flag(self):
+        proc = self.run_cli("--json", str(FIXTURES / "config_bad.py"))
+        assert proc.returncode == 1
+        assert json.loads(proc.stdout)["count"] == 1
+
+    def test_unknown_rule_rejected(self):
+        proc = self.run_cli("--rules", "no-such-rule", str(FIXTURES))
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule in ALL_RULES:
+            assert rule in proc.stdout
