@@ -73,3 +73,77 @@ def test_offload_staleness(benchmark, slam_results):
     # inner loop, which is the paper's architectural point.
     staleness = by_name["ground station TX2 (915 MHz)"].mean_staleness_s
     assert 0.1 < staleness < 1.0
+
+
+def test_offload_staleness_under_burst_and_blackout(benchmark, slam_results):
+    """Worst-case pose staleness: bursty link + node blackout.
+
+    The i.i.d. loss model above understates the tail — real radio links
+    lose poses in bursts, and an off-board node can drop out entirely.
+    This fixture drives the offload path through a Gilbert-Elliott burst
+    channel stacked with a 2 s node blackout, then contrasts the raw
+    (unsupervised) consumer staleness against the fallback chain.
+    """
+    from repro.autopilot.mavlink import GilbertElliott, Link
+    from repro.autopilot.offload import OffboardComputeNode, staleness_timeline
+    from repro.resilience import OffloadSupervisor, simulate_fallback_chain
+
+    result = slam_results[0]  # MH01
+    duration_s = result.frames_processed / 20.0
+
+    def run_case():
+        burst = GilbertElliott(
+            p_good_to_bad=0.08, p_bad_to_good=0.15,
+            loss_good=0.0, loss_bad=1.0,
+        )
+        link = Link(seed=13, burst_model=burst)
+        node = OffboardComputeNode(
+            platform=tx2_profile(),
+            link=link,
+            one_way_latency_s=0.03,
+            crash_at_s=1.5,
+            recover_at_s=3.5,
+        )
+        updates = node.process_stream(result)
+        timeline = staleness_timeline(updates, duration_s)
+        baseline = simulate_fallback_chain(updates, duration_s, supervisor=None)
+        supervised = simulate_fallback_chain(
+            updates, duration_s, supervisor=OffloadSupervisor()
+        )
+        return updates, timeline, baseline, supervised
+
+    updates, timeline, baseline, supervised = benchmark.pedantic(
+        run_case, rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            "raw offboard stream",
+            f"{baseline.worst_consumer_staleness_s:.2f} s",
+            "-",
+            "unbounded" if not baseline.bounded else "bounded",
+        ),
+        (
+            "fallback chain",
+            f"{supervised.worst_consumer_staleness_s:.2f} s",
+            f"{supervised.step_downs} down / {supervised.step_ups} up",
+            "bounded" if supervised.bounded else "unbounded",
+        ),
+    ]
+    print_table(
+        "Consumer pose staleness under burst loss + 2 s blackout",
+        ("navigation source", "worst staleness", "transitions", "verdict"),
+        rows,
+    )
+
+    # The blackout starves the stream: far fewer poses than frames.
+    assert len(updates) < result.frames_processed
+    # Raw staleness blows through the 1 s bound during the blackout...
+    worst_raw = max(staleness for _, staleness in timeline)
+    assert worst_raw > 1.9
+    assert baseline.worst_consumer_staleness_s == pytest.approx(worst_raw, abs=0.1)
+    assert not baseline.bounded
+    # ...while the fallback chain caps what navigation actually consumes.
+    assert supervised.bounded
+    assert supervised.worst_consumer_staleness_s <= 0.6
+    assert supervised.step_downs >= 1

@@ -12,8 +12,10 @@ from repro.autopilot.dronekit import BatteryInfo, LocationLocal, Vehicle, connec
 from repro.autopilot.offload import (
     OffboardComputeNode,
     OffloadReport,
+    PoseStalenessWatchdog,
     PoseUpdate,
     evaluate_offload,
+    staleness_timeline,
 )
 from repro.autopilot.mavlink import (
     Command,
@@ -36,8 +38,10 @@ __all__ = [
     "connect",
     "OffboardComputeNode",
     "OffloadReport",
+    "PoseStalenessWatchdog",
     "PoseUpdate",
     "evaluate_offload",
+    "staleness_timeline",
     "Command",
     "FrameError",
     "Link",

@@ -196,6 +196,42 @@ class OffloadReport:
         return self.delivered / total
 
 
+def staleness_timeline(
+    updates: Sequence[PoseUpdate],
+    duration_s: float,
+    dt_s: float = 0.05,
+) -> List[Tuple[float, float]]:
+    """Sample the consumer-visible pose staleness over time.
+
+    At each sample instant the consumer holds the newest pose *delivered* so
+    far; its staleness is the sample time minus that pose's capture time.
+    Before the first delivery the consumer has no pose at all, which reads
+    as staleness growing from time zero — exactly the signal the offload
+    supervisor monitors.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if dt_s <= 0:
+        raise ValueError("dt must be positive")
+    deliveries = sorted(updates, key=lambda u: u.delivery_time_s)
+    timeline: List[Tuple[float, float]] = []
+    last_capture_s = 0.0
+    cursor = 0
+    steps = max(1, int(round(duration_s / dt_s)))
+    for step in range(1, steps + 1):
+        now_s = step * dt_s
+        while (
+            cursor < len(deliveries)
+            and deliveries[cursor].delivery_time_s <= now_s
+        ):
+            last_capture_s = max(
+                last_capture_s, deliveries[cursor].capture_time_s
+            )
+            cursor += 1
+        timeline.append((now_s, now_s - last_capture_s))
+    return timeline
+
+
 def evaluate_offload(
     result: SlamRunResult,
     platform: PlatformProfile,

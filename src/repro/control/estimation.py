@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analysis.markers import hot_path
+from repro.analysis.markers import hot_path, hot_path_safe
 from repro.physics import constants
 
 STATE_SIZE = 9  # [px py pz vx vy vz roll pitch yaw]
@@ -87,6 +87,8 @@ class InsEkf:
         process[6:9, 6:9] = np.eye(3) * (self.gyro_noise * dt) ** 2
         process[0:3, 0:3] = np.eye(3) * (0.5 * self.accel_noise * dt * dt) ** 2
         self.covariance = jacobian @ self.covariance @ jacobian.T + process
+        if not np.all(np.isfinite(self.state)):
+            raise FloatingPointError("EKF state non-finite after prediction")
         self.flops += 2 * STATE_SIZE**3 + 60
         self.predictions += 1
 
@@ -131,10 +133,13 @@ class InsEkf:
         self.state[8] = _wrap_angle(self.state[8])
         identity = np.eye(STATE_SIZE)
         self.covariance = (identity - gain @ h) @ self.covariance
+        if not np.all(np.isfinite(self.state)):
+            raise FloatingPointError("EKF state non-finite after correction")
         m = h.shape[0]
         self.flops += 2 * STATE_SIZE**2 * m + STATE_SIZE**3 + m**3 + 40
         self.corrections += 1
 
+    @hot_path_safe  # rarely-taken numerical-fault recovery; allocates
     def reset(self, state: Optional[np.ndarray] = None) -> None:
         self.state = (
             np.zeros(STATE_SIZE) if state is None else np.asarray(state, dtype=float)

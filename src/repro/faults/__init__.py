@@ -7,8 +7,19 @@ scenario harness measuring survival, recovery time, and mission-completion
 degradation (:mod:`repro.faults.scenarios`).
 """
 
-from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    OFFLOAD_KINDS,
+    PERCEPTION_KINDS,
+)
 from repro.faults.injectors import FaultInjector
+from repro.faults.perception import (
+    PerceptionFaultInjector,
+    PerceptionScenario,
+    perception_scenarios,
+)
 from repro.faults.scenarios import (
     Scenario,
     ScenarioResult,
@@ -20,7 +31,12 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultSchedule",
+    "OFFLOAD_KINDS",
+    "PERCEPTION_KINDS",
     "FaultInjector",
+    "PerceptionFaultInjector",
+    "PerceptionScenario",
+    "perception_scenarios",
     "Scenario",
     "ScenarioResult",
     "run_scenario",

@@ -66,6 +66,9 @@ class FaultInjector:
             FaultKind.LINK_BURST: self._link_burst,
             FaultKind.OFFLOAD_STALL: self._offload_noop,
             FaultKind.OFFLOAD_CRASH: self._offload_noop,
+            FaultKind.FEATURE_DROUGHT: self._offload_noop,
+            FaultKind.FRAME_CORRUPTION: self._offload_noop,
+            FaultKind.COMPUTE_THROTTLE: self._offload_noop,
         }[event.kind]
         return handler(event.param_dict)
 
@@ -178,6 +181,8 @@ class FaultInjector:
         return restore
 
     def _offload_noop(self, params: Dict[str, float]) -> Callable[[], None]:
-        """Offload faults act through the schedule query (``offload_blocked``)
-        or the node's stall/crash parameters, not through mutation here."""
+        """Offload and perception faults act through schedule queries
+        (``offload_blocked``, :class:`repro.faults.perception
+        .PerceptionFaultInjector`) or the node's stall/crash parameters,
+        not through mutation here."""
         return lambda: None

@@ -35,10 +35,22 @@ class FaultKind(enum.Enum):
     # Off-board compute (repro.autopilot.offload)
     OFFLOAD_STALL = "offload_stall"
     OFFLOAD_CRASH = "offload_crash"
+    # Perception (repro.slam via repro.faults.perception)
+    FEATURE_DROUGHT = "feature_drought"
+    FRAME_CORRUPTION = "frame_corruption"
+    # Compute platform (repro.resilience.thermal)
+    COMPUTE_THROTTLE = "compute_throttle"
 
 
 #: Kinds that interrupt the offload pose stream while active.
 OFFLOAD_KINDS = (FaultKind.OFFLOAD_STALL, FaultKind.OFFLOAD_CRASH)
+
+#: Kinds that attack the perception front end (camera frames, features).
+PERCEPTION_KINDS = (
+    FaultKind.FEATURE_DROUGHT,
+    FaultKind.FRAME_CORRUPTION,
+    FaultKind.COMPUTE_THROTTLE,
+)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ from repro.platforms.cpu import CorePenalties, InOrderCore, PerfCounters
 from repro.platforms.deadlines import (
     DeadlineReport,
     corun_deadline_comparison,
+    scaled_frame_deadlines,
     slam_frame_deadlines,
 )
 from repro.platforms.perf import (
@@ -69,6 +70,7 @@ __all__ = [
     "separate_rpi_speedup",
     "DeadlineReport",
     "corun_deadline_comparison",
+    "scaled_frame_deadlines",
     "slam_frame_deadlines",
     "BASELINE_FLIGHT_TIME_MIN",
     "LARGE_DRONE_TOTAL_POWER_W",

@@ -13,7 +13,7 @@ throughput into deadline-miss statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.platforms.profiles import PlatformProfile
 from repro.slam.dataset import FRAME_RATE_HZ
@@ -33,8 +33,10 @@ class DeadlineReport:
 
     @property
     def miss_rate(self) -> float:
+        # An empty stream has missed nothing; supervisors poll this before
+        # any frame has been analyzed, so it must not raise.
         if self.frames == 0:
-            raise ValueError("no frames analyzed")
+            return 0.0
         return self.misses / self.frames
 
     @property
@@ -109,6 +111,77 @@ def slam_frame_deadlines(
         misses=misses,
         worst_latency_s=max(latencies),
         mean_latency_s=sum(latencies) / len(latencies),
+    )
+
+
+def scaled_frame_deadlines(
+    result: SlamRunResult,
+    platform: PlatformProfile,
+    frame_scales: Sequence[float],
+    frame_rate_hz: float = FRAME_RATE_HZ,
+    keyframe_interval: int = 10,
+    task: str = "slam-throttled",
+) -> DeadlineReport:
+    """Deadline analysis under a *time-varying* throughput scale.
+
+    ``frame_scales[i]`` is the fraction of nominal throughput available when
+    frame ``i`` is processed — the output of a thermal governor stepping the
+    clock down as the package heats.  A scale of 0 models a frame the
+    frame-skip policy dropped: it costs nothing and cannot miss.
+    """
+    if frame_rate_hz <= 0:
+        raise ValueError(f"frame rate must be positive: {frame_rate_hz}")
+    if keyframe_interval <= 0:
+        raise ValueError("keyframe interval must be positive")
+    if not frame_scales:
+        raise ValueError("frame_scales cannot be empty")
+    for scale in frame_scales:
+        if not 0.0 <= scale <= 1.0:
+            raise ValueError(f"throughput scale must be in [0, 1], got {scale}")
+    period = 1.0 / frame_rate_hz
+    frames = result.frames_processed
+    if frames == 0:
+        raise ValueError("SLAM run processed no frames")
+
+    ops = result.breakdown.operations
+    per_frame_ops = (
+        ops[Stage.FEATURE_EXTRACTION] + ops[Stage.TRACKING]
+    ) / frames
+    keyframes = max(1, result.keyframes)
+    per_keyframe_ops = ops[Stage.LOCAL_BA] / keyframes
+    extraction_throughput = platform.stage_throughput_ops_s[
+        Stage.FEATURE_EXTRACTION
+    ]
+    ba_throughput = platform.stage_throughput_ops_s[Stage.LOCAL_BA]
+
+    misses = 0
+    processed = 0
+    latencies: List[float] = []
+    backlog = 0.0
+    for index in range(len(frame_scales)):
+        scale = frame_scales[index]
+        if scale == 0.0:
+            continue  # frame skipped by policy: no work, no deadline
+        processed += 1
+        work = per_frame_ops / (extraction_throughput * scale)
+        if index % keyframe_interval == 0:
+            work += per_keyframe_ops / (ba_throughput * scale)
+        completion = backlog + work
+        latencies.append(completion)
+        if completion > period:
+            misses += 1
+            backlog = completion - period
+        else:
+            backlog = 0.0
+    return DeadlineReport(
+        task=f"{task}@{platform.name}",
+        period_s=period,
+        frames=processed,
+        misses=misses,
+        worst_latency_s=max(latencies) if latencies else 0.0,
+        mean_latency_s=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
     )
 
 

@@ -1,0 +1,420 @@
+"""SLAM relocalization: a bounded retry ladder over tracking loss.
+
+ORB-SLAM's recovery design, adapted to this pipeline: when tracking fails,
+climb a ladder of increasingly expensive remedies —
+
+1. **relaxed re-extraction** — re-run the extractor with a larger feature
+   budget (the frame may have texture the tight budget skipped);
+2. **wide projection search** — re-match map points with a much wider
+   search window (the motion model is stale, not the map);
+3. **map relocalization** — brute-force descriptor matching against the
+   whole map, pose-free (the place-recognition step);
+4. **reinitialization** — drop the map and bootstrap again from the
+   current frame (the last resort, forced once the retry budget is spent).
+
+Attempts are rationed with exponential backoff so a blind stretch (a
+feature drought) does not burn the budget on frames that cannot possibly
+relocalize.  Every loss episode is logged into a
+:class:`RelocalizationReport`: frames to recover, the remedy that worked,
+and the pose error at the moment tracking resumed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.guards import MapCheckpoint
+from repro.slam.dataset import Frame
+from repro.slam.features import FeatureSet, OrbExtractor
+from repro.slam.matching import match_against_map, match_by_projection
+from repro.slam.pipeline import SlamPipeline, Stage, TrackingOutcome
+from repro.slam.tracking import TrackingLostError, track_pose
+
+
+class Remedy(enum.Enum):
+    """Rungs of the relocalization ladder, cheapest first."""
+
+    RELAXED_REEXTRACTION = "relaxed_reextraction"
+    WIDE_PROJECTION = "wide_projection"
+    MAP_RELOCALIZATION = "map_relocalization"
+    REINITIALIZATION = "reinitialization"
+
+
+@dataclass(frozen=True)
+class LossEpisode:
+    """One contiguous stretch of tracking loss."""
+
+    start_frame: int
+    onset: TrackingOutcome
+    recovered_frame: Optional[int]
+    #: Last remedy applied before tracking resumed (None: recovered on its
+    #: own once the fault cleared).
+    remedy: Optional[Remedy]
+    attempts: int
+    pose_error_at_recovery_m: Optional[float]
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_frame is not None
+
+    @property
+    def frames_to_recover(self) -> int:
+        if self.recovered_frame is None:
+            raise ValueError("episode never recovered")
+        return self.recovered_frame - self.start_frame
+
+
+@dataclass(frozen=True)
+class RelocalizationReport:
+    """Loss/recovery accounting for one supervised run."""
+
+    episodes: Tuple[LossEpisode, ...]
+    total_frames: int
+
+    @property
+    def loss_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def recovered_episodes(self) -> int:
+        return sum(1 for episode in self.episodes if episode.recovered)
+
+    @property
+    def recovery_rate(self) -> float:
+        if not self.episodes:
+            return 1.0
+        return self.recovered_episodes / len(self.episodes)
+
+    @property
+    def mean_frames_to_recover(self) -> float:
+        recovered = [
+            episode.frames_to_recover
+            for episode in self.episodes
+            if episode.recovered
+        ]
+        if not recovered:
+            return 0.0
+        return sum(recovered) / len(recovered)
+
+    @property
+    def worst_pose_error_at_recovery_m(self) -> float:
+        errors = [
+            episode.pose_error_at_recovery_m
+            for episode in self.episodes
+            if episode.pose_error_at_recovery_m is not None
+        ]
+        return max(errors) if errors else 0.0
+
+
+class RelocalizationLadder:
+    """Bounded, backoff-rationed recovery policy for a :class:`SlamPipeline`."""
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        backoff_cap_frames: int = 16,
+        relaxed_feature_factor: float = 2.0,
+        wide_radius_px: float = 120.0,
+        recovery_rms_px: float = 30.0,
+        min_matches: int = 12,
+    ):
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive: {max_attempts}")
+        if backoff_cap_frames <= 0:
+            raise ValueError("backoff cap must be positive")
+        if relaxed_feature_factor < 1.0:
+            raise ValueError("relaxed factor must be >= 1")
+        if wide_radius_px <= 0 or recovery_rms_px <= 0:
+            raise ValueError("radii and residual bounds must be positive")
+        if min_matches <= 0:
+            raise ValueError("min_matches must be positive")
+        self.max_attempts = max_attempts
+        self.backoff_cap_frames = backoff_cap_frames
+        self.relaxed_feature_factor = relaxed_feature_factor
+        self.wide_radius_px = wide_radius_px
+        self.recovery_rms_px = recovery_rms_px
+        self.min_matches = min_matches
+        self.episodes: List[LossEpisode] = []
+        self.reinitializations = 0
+        self._start_frame: Optional[int] = None
+        self._onset = TrackingOutcome.TRACKED
+        self._attempts = 0
+        self._episode_attempts = 0
+        self._next_attempt_frame = 0
+        self._last_remedy: Optional[Remedy] = None
+
+    # -- episode lifecycle -------------------------------------------------------
+
+    def attempt(
+        self,
+        pipeline: SlamPipeline,
+        frame: Frame,
+        features: FeatureSet,
+        outcome: TrackingOutcome,
+    ) -> bool:
+        """React to one lost frame; returns True if the pose was repaired.
+
+        Recovery is only *claimed* when a later frame actually tracks —
+        ``observe`` closes the episode then.
+        """
+        if self._start_frame is None:
+            self._start_frame = frame.index
+            self._onset = outcome
+            self._attempts = 0
+            self._episode_attempts = 0
+            self._next_attempt_frame = frame.index
+            self._last_remedy = None
+        if features.count < pipeline.min_tracked_points:
+            # Blind frame (drought): nothing to relocalize against.  Wait it
+            # out without spending the retry budget.
+            return False
+        if frame.index < self._next_attempt_frame:
+            return False
+        self._attempts += 1
+        self._episode_attempts += 1
+        for remedy in self._remedies(outcome):
+            if self._apply(remedy, pipeline, frame, features):
+                self._last_remedy = remedy
+                return True
+        if self._attempts >= self.max_attempts:
+            self._reinitialize(pipeline, frame, features)
+            self._last_remedy = Remedy.REINITIALIZATION
+            # Fresh map: restart the budget and give it room to settle.
+            self._attempts = 0
+            self._next_attempt_frame = frame.index + self.backoff_cap_frames
+            return True
+        # Exponential backoff: 2, 4, 8, ... frames between attempt rounds.
+        self._next_attempt_frame = frame.index + min(
+            self.backoff_cap_frames, 2**self._attempts
+        )
+        return False
+
+    def observe(
+        self, pipeline: SlamPipeline, frame: Frame, outcome: TrackingOutcome
+    ) -> None:
+        """Close the open episode once a frame tracks again."""
+        if self._start_frame is None or not outcome.ok:
+            return
+        assert pipeline._pose is not None  # a tracked frame has a pose
+        error_m = float(
+            np.linalg.norm(pipeline._pose[0] - frame.true_position_m)
+        )
+        self.episodes.append(
+            LossEpisode(
+                start_frame=self._start_frame,
+                onset=self._onset,
+                recovered_frame=frame.index,
+                remedy=self._last_remedy,
+                attempts=self._episode_attempts,
+                pose_error_at_recovery_m=error_m,
+            )
+        )
+        self._start_frame = None
+        self._last_remedy = None
+
+    def close(self) -> None:
+        """End of run: an episode still open never recovered."""
+        if self._start_frame is None:
+            return
+        self.episodes.append(
+            LossEpisode(
+                start_frame=self._start_frame,
+                onset=self._onset,
+                recovered_frame=None,
+                remedy=self._last_remedy,
+                attempts=self._episode_attempts,
+                pose_error_at_recovery_m=None,
+            )
+        )
+        self._start_frame = None
+        self._last_remedy = None
+
+    def report(self, total_frames: int) -> RelocalizationReport:
+        return RelocalizationReport(
+            episodes=tuple(self.episodes), total_frames=total_frames
+        )
+
+    # -- remedies ----------------------------------------------------------------
+
+    def _remedies(self, outcome: TrackingOutcome) -> Tuple[Remedy, ...]:
+        if outcome is TrackingOutcome.TOO_FEW_LANDMARKS:
+            return (
+                Remedy.RELAXED_REEXTRACTION,
+                Remedy.WIDE_PROJECTION,
+                Remedy.MAP_RELOCALIZATION,
+            )
+        # Diverged/high-residual solves had matches; re-extraction cannot
+        # help, a wider search or place recognition can.
+        return (Remedy.WIDE_PROJECTION, Remedy.MAP_RELOCALIZATION)
+
+    def _apply(
+        self,
+        remedy: Remedy,
+        pipeline: SlamPipeline,
+        frame: Frame,
+        features: FeatureSet,
+    ) -> bool:
+        if remedy is Remedy.RELAXED_REEXTRACTION:
+            extractor = OrbExtractor(
+                max_features=int(
+                    self.relaxed_feature_factor * pipeline.extractor.max_features
+                )
+            )
+            rich = extractor.extract(frame)
+            pipeline.breakdown.add(Stage.FEATURE_EXTRACTION, rich.operations)
+            return self._solve_by_projection(pipeline, rich)
+        if remedy is Remedy.WIDE_PROJECTION:
+            return self._solve_by_projection(pipeline, features)
+        if remedy is Remedy.MAP_RELOCALIZATION:
+            return self._solve_against_map(pipeline, features)
+        raise ValueError(f"remedy {remedy} is not directly applicable")
+
+    def _solve_by_projection(
+        self, pipeline: SlamPipeline, features: FeatureSet
+    ) -> bool:
+        assert pipeline._pose is not None
+        predicted = (
+            pipeline._pose[0] + pipeline._motion[0],
+            pipeline._pose[1] + pipeline._motion[1],
+        )
+        match_result = match_by_projection(
+            features,
+            pipeline.slam_map.points.values(),
+            predicted,
+            pipeline.camera,
+            radius_px=self.wide_radius_px,
+        )
+        pipeline.breakdown.add(Stage.FEATURE_EXTRACTION, match_result.operations)
+        return self._adopt_solved_pose(pipeline, features, match_result.matches)
+
+    def _solve_against_map(
+        self, pipeline: SlamPipeline, features: FeatureSet
+    ) -> bool:
+        descriptors, landmark_ids = pipeline.slam_map.descriptor_matrix()
+        match_result = match_against_map(features, descriptors, landmark_ids)
+        pipeline.breakdown.add(Stage.FEATURE_EXTRACTION, match_result.operations)
+        return self._adopt_solved_pose(pipeline, features, match_result.matches)
+
+    def _adopt_solved_pose(self, pipeline: SlamPipeline, features, matches) -> bool:
+        landmarks = []
+        pixels = []
+        for match in matches:
+            point = pipeline.slam_map.points.get(match.index_b)
+            if point is None:
+                continue
+            landmarks.append(point.position_m)
+            pixels.append(tuple(features.keypoints_px[match.index_a]))
+        if len(landmarks) < self.min_matches:
+            return False
+        assert pipeline._pose is not None
+        try:
+            result = track_pose(
+                landmarks,
+                pixels,
+                pipeline._pose[0] + pipeline._motion[0],
+                pipeline._pose[1] + pipeline._motion[1],
+                pipeline.camera,
+            )
+        except TrackingLostError:
+            return False
+        pipeline.breakdown.add(Stage.TRACKING, result.operations)
+        if not (
+            np.all(np.isfinite(result.position_m))
+            and math.isfinite(result.yaw_rad)
+        ):
+            return False
+        if result.final_rms_px > self.recovery_rms_px:
+            return False
+        pipeline._pose = (result.position_m, result.yaw_rad)
+        pipeline._motion = (np.zeros(3), 0.0)
+        return True
+
+    def _reinitialize(
+        self, pipeline: SlamPipeline, frame: Frame, features: FeatureSet
+    ) -> None:
+        """Last rung: drop the map and bootstrap from the current frame.
+
+        The bootstrap keyframe is inserted at the dead-reckoned pose
+        hypothesis, then the pose (and the keyframe) are snapped onto the
+        fresh map by a wide-window solve.
+        """
+        assert pipeline._pose is not None
+        predicted_position = pipeline._pose[0] + pipeline._motion[0]
+        predicted_yaw = float(pipeline._pose[1] + pipeline._motion[1])
+        pipeline._reset_map()
+        pipeline._pose = (
+            np.asarray(predicted_position, dtype=float).copy(),
+            predicted_yaw,
+        )
+        pipeline._motion = (np.zeros(3), 0.0)
+        pipeline._insert_keyframe(frame, features, bootstrap=True)
+        self.reinitializations += 1
+        if self._solve_by_projection(pipeline, features):
+            # Re-stamp the bootstrap keyframe at the corrected pose so BA
+            # starts from consistent geometry.
+            for keyframe in pipeline.slam_map.keyframes.values():
+                keyframe.set_pose_params(
+                    np.concatenate([pipeline._pose[0], [pipeline._pose[1]]])
+                )
+
+
+class SupervisedSlamPipeline(SlamPipeline):
+    """A :class:`SlamPipeline` recovering via the relocalization ladder.
+
+    Ground-truth rescue is off: every recovery the supervised pipeline
+    makes is one the real system could make.  Bundle adjustment runs under
+    a :class:`MapCheckpoint` so a numerically corrupted pass (non-finite
+    residuals) rolls the map back instead of poisoning the run.
+    """
+
+    def __init__(
+        self,
+        sequence,
+        ladder: Optional[RelocalizationLadder] = None,
+        checkpoint: Optional[MapCheckpoint] = None,
+        **kwargs,
+    ):
+        kwargs.setdefault("rescue_from_truth", False)
+        super().__init__(sequence, **kwargs)
+        self.ladder = ladder if ladder is not None else RelocalizationLadder()
+        self.checkpoint = checkpoint if checkpoint is not None else MapCheckpoint()
+        self.numerical_faults = 0
+
+    def process_frame(self, frame: Frame) -> TrackingOutcome:
+        outcome = super().process_frame(frame)
+        self.ladder.observe(self, frame, outcome)
+        return outcome
+
+    def finalize(self):
+        self.ladder.close()
+        return super().finalize()
+
+    def relocalization_report(self) -> RelocalizationReport:
+        return self.ladder.report(self.frames_processed)
+
+    def _attempt_recovery(
+        self, frame: Frame, features: FeatureSet, outcome: TrackingOutcome
+    ) -> bool:
+        return self.ladder.attempt(self, frame, features, outcome)
+
+    def _run_local_ba(self) -> None:
+        self.checkpoint.capture(self.slam_map)
+        try:
+            super()._run_local_ba()
+        except FloatingPointError:
+            self.numerical_faults += 1
+            self.checkpoint.rollback(self.slam_map)
+
+    def _run_global_ba(self):
+        self.checkpoint.capture(self.slam_map)
+        try:
+            return super()._run_global_ba()
+        except FloatingPointError:
+            self.numerical_faults += 1
+            self.checkpoint.rollback(self.slam_map)
+            return None

@@ -1,0 +1,264 @@
+"""Thermal throttling for compute platforms, and deadline-adaptive skipping.
+
+The paper quantifies compute power at 2-30% of the drone's budget; what it
+does not model is that sustained SLAM load *heats* the companion computer
+until DVFS steps the clock down — and a throttled platform misses deadlines
+it met on paper.  This module reuses the lumped RC model of
+:mod:`repro.physics.thermal` with compute-platform parameters (an RPi4's
+bare SoC vs a TX2's heatsinked module), a governor that walks the DVFS
+frequency ladder with step-up hysteresis, and a frame-skip policy that
+sheds load once the deadline miss rate climbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.physics.thermal import ThermalModel
+from repro.platforms.deadlines import DeadlineReport, scaled_frame_deadlines
+from repro.platforms.profiles import PlatformProfile
+from repro.slam.dataset import FRAME_RATE_HZ
+from repro.slam.pipeline import SlamRunResult
+
+
+@dataclass(frozen=True)
+class ComputeThermalProfile:
+    """Thermal parameters of one companion-compute platform."""
+
+    name: str
+    #: Package power at full clock and full utilization.
+    tdp_w: float
+    thermal_resistance_c_per_w: float
+    thermal_capacity_j_per_c: float
+    #: Hard limit: the platform shuts down past this.
+    shutdown_c: float
+    #: DVFS ladder: (trigger temperature degC, frequency scale), in the
+    #: order the governor descends it.
+    frequency_steps: Tuple[Tuple[float, float], ...]
+    #: A rung releases only after cooling this far below its trigger.
+    step_up_margin_c: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0:
+            raise ValueError("TDP must be positive")
+        if not self.frequency_steps:
+            raise ValueError("a thermal profile needs at least one DVFS step")
+        for trigger_c, scale in self.frequency_steps:
+            if not 0.0 < scale < 1.0:
+                raise ValueError(f"frequency scale must be in (0, 1): {scale}")
+            if trigger_c >= self.shutdown_c:
+                raise ValueError("DVFS triggers must sit below shutdown")
+
+
+def rpi4_compute_thermal() -> ComputeThermalProfile:
+    """RPi4: ~6 W SoC, no heatsink — throttles at 80 degC within minutes."""
+    return ComputeThermalProfile(
+        name="rpi4",
+        tdp_w=6.0,
+        thermal_resistance_c_per_w=11.0,
+        thermal_capacity_j_per_c=18.0,
+        shutdown_c=90.0,
+        frequency_steps=((80.0, 0.75), (85.0, 0.5)),
+    )
+
+
+def tx2_compute_thermal() -> ComputeThermalProfile:
+    """TX2 module: ~15 W TDP but a real heatsink — throttles late."""
+    return ComputeThermalProfile(
+        name="tx2",
+        tdp_w=15.0,
+        thermal_resistance_c_per_w=3.6,
+        thermal_capacity_j_per_c=70.0,
+        shutdown_c=95.0,
+        frequency_steps=((87.0, 0.85), (92.0, 0.6)),
+    )
+
+
+class ThermalGovernor:
+    """Walks the DVFS ladder against the lumped RC temperature.
+
+    Package power scales with both utilization and the current clock, so
+    throttling is self-stabilizing; stepping back up waits for the package
+    to cool ``step_up_margin_c`` below the binding trigger (hysteresis, so
+    the clock does not flap at a trigger temperature).
+    """
+
+    def __init__(self, profile: ComputeThermalProfile, ambient_c: float = 25.0):
+        self.profile = profile
+        self.model = ThermalModel(
+            thermal_resistance_c_per_w=profile.thermal_resistance_c_per_w,
+            thermal_capacity_j_per_c=profile.thermal_capacity_j_per_c,
+            ambient_c=ambient_c,
+            limit_c=profile.shutdown_c,
+        )
+        self.scale = 1.0
+        self.throttle_events = 0
+
+    @property
+    def temperature_c(self) -> float:
+        return self.model.temperature_c
+
+    @property
+    def shutdown(self) -> bool:
+        return self.model.overheated
+
+    def step(self, utilization: float, dt_s: float) -> float:
+        """Advance ``dt_s`` at the given utilization; returns the new scale."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1]: {utilization}")
+        power_w = self.profile.tdp_w * utilization * self.scale
+        self.model.step(power_w, dt_s)
+        temperature_c = self.model.temperature_c
+        target = 1.0
+        for trigger_c, step_scale in self.profile.frequency_steps:
+            if temperature_c >= trigger_c:
+                target = min(target, step_scale)
+        if target < self.scale:
+            self.scale = target
+            self.throttle_events += 1
+        elif target > self.scale:
+            binding = [
+                trigger_c
+                for trigger_c, step_scale in self.profile.frequency_steps
+                if step_scale <= self.scale + 1e-12
+            ]
+            release_c = min(binding) - self.profile.step_up_margin_c
+            if temperature_c <= release_c:
+                self.scale = target
+        return self.scale
+
+
+class DeadlineFrameSkipPolicy:
+    """Sheds frames when the deadline miss rate climbs; restores when it
+    clears — the load-shedding half of thermal-aware degradation.
+
+    ``stride=1`` processes every frame; ``stride=2`` every other frame, up
+    to ``max_stride``.  The policy reviews the windowed miss rate every
+    ``window`` processed frames.
+    """
+
+    def __init__(
+        self,
+        window: int = 20,
+        step_up_miss_rate: float = 0.3,
+        step_down_miss_rate: float = 0.05,
+        max_stride: int = 4,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 <= step_down_miss_rate < step_up_miss_rate <= 1.0:
+            raise ValueError("need 0 <= step_down < step_up <= 1")
+        if max_stride < 1:
+            raise ValueError("max stride must be >= 1")
+        self.window = window
+        self.step_up_miss_rate = step_up_miss_rate
+        self.step_down_miss_rate = step_down_miss_rate
+        self.max_stride = max_stride
+        self.stride = 1
+        self.stride_changes = 0
+        self._frames_in_window = 0
+        self._misses_in_window = 0
+        self._cursor = 0
+
+    def should_process(self, frame_index: int) -> bool:
+        """Whether the policy schedules this frame at the current stride."""
+        return frame_index % self.stride == 0
+
+    def record(self, missed: bool) -> None:
+        """Account one processed frame; review the stride at window edges."""
+        self._frames_in_window += 1
+        if missed:
+            self._misses_in_window += 1
+        if self._frames_in_window < self.window:
+            return
+        miss_rate = self._misses_in_window / self._frames_in_window
+        if miss_rate > self.step_up_miss_rate and self.stride < self.max_stride:
+            self.stride += 1
+            self.stride_changes += 1
+        elif miss_rate < self.step_down_miss_rate and self.stride > 1:
+            self.stride -= 1
+            self.stride_changes += 1
+        self._frames_in_window = 0
+        self._misses_in_window = 0
+
+
+@dataclass(frozen=True)
+class ThermalDeadlineStudy:
+    """Sustained-load outcome of one platform under thermal throttling."""
+
+    platform: str
+    duration_s: float
+    final_scale: float
+    peak_temperature_c: float
+    throttle_events: int
+    final_stride: int
+    report_nominal: DeadlineReport
+    report_throttled: DeadlineReport
+
+    @property
+    def throttled(self) -> bool:
+        return self.final_scale < 1.0
+
+
+def thermal_deadline_study(
+    result: SlamRunResult,
+    platform: PlatformProfile,
+    thermal: ComputeThermalProfile,
+    duration_s: float = 600.0,
+    utilization: float = 0.9,
+    frame_rate_hz: float = FRAME_RATE_HZ,
+    skip_policy: Optional[DeadlineFrameSkipPolicy] = None,
+) -> ThermalDeadlineStudy:
+    """Run sustained SLAM load through the governor and price the deadlines.
+
+    The governor integrates the package temperature over ``duration_s`` of
+    sustained load; the per-frame frequency scales it produces are replayed
+    through :func:`scaled_frame_deadlines` (with the skip policy shedding
+    frames), against the unthrottled baseline.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    governor = ThermalGovernor(thermal)
+    policy = skip_policy if skip_policy is not None else DeadlineFrameSkipPolicy()
+    period_s = 1.0 / frame_rate_hz
+    frames = int(duration_s * frame_rate_hz)
+    peak_c = governor.temperature_c
+
+    # Nominal per-frame latency decides whether a throttled frame misses.
+    nominal = scaled_frame_deadlines(
+        result,
+        platform,
+        frame_scales=[1.0] * frames,
+        frame_rate_hz=frame_rate_hz,
+        task="slam-nominal",
+    )
+    scales: List[float] = []
+    for index in range(frames):
+        scale = governor.step(utilization, period_s)
+        peak_c = max(peak_c, governor.temperature_c)
+        if not policy.should_process(index):
+            scales.append(0.0)  # shed: no work, no deadline
+            continue
+        scales.append(scale)
+        # A frame at scale s takes nominal_latency / s; missing means the
+        # worst nominal latency scaled past the period.
+        missed = nominal.worst_latency_s / max(scale, 1e-9) > period_s
+        policy.record(missed)
+    throttled = scaled_frame_deadlines(
+        result,
+        platform,
+        frame_scales=scales,
+        frame_rate_hz=frame_rate_hz,
+        task="slam-throttled",
+    )
+    return ThermalDeadlineStudy(
+        platform=platform.name,
+        duration_s=duration_s,
+        final_scale=governor.scale,
+        peak_temperature_c=peak_c,
+        throttle_events=governor.throttle_events,
+        final_stride=policy.stride,
+        report_nominal=nominal,
+        report_throttled=throttled,
+    )

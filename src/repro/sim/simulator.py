@@ -145,6 +145,7 @@ class FlightSimulator:
         self.time_s = 0.0
         self.samples: List[SimSample] = []
         self.depleted = False
+        self.ekf_resets = 0
         self._record_period_s = 1.0 / record_rate_hz
         self._next_record_s = 0.0
         self._hover_eff = constants.HOVER_OVERALL_EFFICIENCY
@@ -201,18 +202,26 @@ class FlightSimulator:
 
         readings = self.sensors.poll(state, dt)
         if self.use_ekf:
-            if readings.imu_fired:
-                self.ekf.predict(
-                    readings.accel_body_m_s2,
-                    readings.gyro_rad_s,
-                    self.sensors.imu.period_s,
-                )
-            if readings.gps_position_m is not None:
-                self.ekf.update_gps(readings.gps_position_m)
-            if readings.baro_altitude_m is not None:
-                self.ekf.update_barometer(readings.baro_altitude_m)
-            if readings.mag_yaw_rad is not None:
-                self.ekf.update_magnetometer(readings.mag_yaw_rad)
+            # The EKF raises FloatingPointError the moment its state goes
+            # non-finite; roll back to the pre-tick (finite) state instead
+            # of flying on NaN — degrade, don't abort.
+            checkpoint = self.ekf.state.copy()
+            try:
+                if readings.imu_fired:
+                    self.ekf.predict(
+                        readings.accel_body_m_s2,
+                        readings.gyro_rad_s,
+                        self.sensors.imu.period_s,
+                    )
+                if readings.gps_position_m is not None:
+                    self.ekf.update_gps(readings.gps_position_m)
+                if readings.baro_altitude_m is not None:
+                    self.ekf.update_barometer(readings.baro_altitude_m)
+                if readings.mag_yaw_rad is not None:
+                    self.ekf.update_magnetometer(readings.mag_yaw_rad)
+            except FloatingPointError:
+                self.ekf.reset(checkpoint)
+                self.ekf_resets += 1
             estimated = self._estimated_state(state)
         else:
             estimated = state

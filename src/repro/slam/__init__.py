@@ -50,6 +50,7 @@ from repro.slam.pipeline import (
     SlamRunResult,
     Stage,
     StageBreakdown,
+    TrackingOutcome,
     run_slam,
     triangulate_midpoint,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "SlamRunResult",
     "Stage",
     "StageBreakdown",
+    "TrackingOutcome",
     "run_slam",
     "triangulate_midpoint",
     "TrackingLostError",

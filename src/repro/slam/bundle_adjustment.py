@@ -151,6 +151,8 @@ def _refine_landmark(
         delta = np.linalg.solve(normal + 1e-9 * np.eye(3), rhs)
     except np.linalg.LinAlgError:
         return 0
+    if not np.all(np.isfinite(delta)):
+        return 0  # near-singular solve: never write NaN into the map
     # Trust region: single-step landmark moves are bounded.
     norm = float(np.linalg.norm(delta))
     if norm > 0.5:
@@ -222,6 +224,11 @@ def bundle_adjust(
                 )
             except TrackingLostError:
                 continue
+            if not (
+                np.all(np.isfinite(result.position_m))
+                and math.isfinite(result.yaw_rad)
+            ):
+                continue  # keep the previous (finite) pose
             keyframe.set_pose_params(
                 np.concatenate([result.position_m, [result.yaw_rad]])
             )
@@ -230,6 +237,10 @@ def bundle_adjust(
         for point in points.values():
             operations += _refine_landmark(point, keyframes, camera)
     final_rms = _collect_residuals(keyframes, points, camera)
+    if not (math.isfinite(initial_rms) and math.isfinite(final_rms)):
+        # Numerical sentinel: a NaN/Inf residual means the map is corrupted;
+        # callers holding a checkpoint roll the map back.
+        raise FloatingPointError("bundle adjustment produced non-finite residuals")
     return BaResult(
         initial_rms_px=initial_rms,
         final_rms_px=final_rms,

@@ -42,6 +42,27 @@ class Stage(enum.Enum):
     TRACKING = "tracking"
 
 
+class TrackingOutcome(enum.Enum):
+    """Per-frame tracking verdict, typed so recovery can pick a remedy.
+
+    A bare bool conflates failure modes that call for different responses:
+    too few landmarks wants a wider search or map relocalization, a diverged
+    or non-finite solve wants a clean re-solve from a fresh hypothesis.
+    """
+
+    TRACKED = "tracked"
+    #: Projection matching found too few map correspondences.
+    TOO_FEW_LANDMARKS = "too_few_landmarks"
+    #: The pose solver failed: degenerate geometry or a non-finite result.
+    SOLVER_DIVERGED = "solver_diverged"
+    #: The solve converged but the reprojection residual is implausible.
+    HIGH_RESIDUAL = "high_residual"
+
+    @property
+    def ok(self) -> bool:
+        return self is TrackingOutcome.TRACKED
+
+
 @dataclass
 class StageBreakdown:
     """Accumulated operation counts per pipeline stage."""
@@ -157,6 +178,7 @@ class SlamPipeline:
         min_tracked_points: int = 18,
         local_ba_every_keyframes: int = 1,
         max_features: int = 300,
+        rescue_from_truth: bool = True,
     ):
         if keyframe_interval <= 0:
             raise ValueError("keyframe interval must be positive")
@@ -166,6 +188,10 @@ class SlamPipeline:
         self.keyframe_interval = keyframe_interval
         self.min_tracked_points = min_tracked_points
         self.local_ba_every_keyframes = local_ba_every_keyframes
+        #: When True, tracking loss teleports the pose back to ground truth
+        #: (a stand-in for a perfect place-recognition database).  Supervised
+        #: pipelines set this False and recover via ``_attempt_recovery``.
+        self.rescue_from_truth = rescue_from_truth
         self.slam_map = SlamMap()
         self.breakdown = StageBreakdown()
         self._pose: Optional[Tuple[np.ndarray, float]] = None
@@ -177,69 +203,112 @@ class SlamPipeline:
         self._last_tracked_count = 0
         self._matches_at_last_keyframe = 0
         self._frames_since_keyframe = 0
+        # Step-API accumulators (what ``run`` used to keep as locals).
+        self.frames_processed = 0
+        self.tracking_failures = 0
+        self._keyframes_since_ba = 0
+        self._estimated: List[np.ndarray] = []
+        self._true: List[np.ndarray] = []
+        self._local_ba_results: List[BaResult] = []
 
     def run(self, max_frames: Optional[int] = None) -> SlamRunResult:
         """Process the sequence end to end; returns the run result."""
-        estimated: List[np.ndarray] = []
-        truth: List[np.ndarray] = []
-        local_results: List[BaResult] = []
-        tracking_failures = 0
-        keyframes_since_ba = 0
         frame_count = self.sequence.frame_count
         if max_frames is not None:
             if max_frames <= 0:
                 raise ValueError("max_frames must be positive")
             frame_count = min(frame_count, max_frames)
-
         for index in range(frame_count):
-            frame = self.sequence.generate_frame(index)
-            features = self.extractor.extract(frame)
-            self.breakdown.add(Stage.FEATURE_EXTRACTION, features.operations)
+            self.process_frame(self.sequence.generate_frame(index))
+        return self.finalize()
 
-            if self._pose is None:
-                self._initialize(frame, features)
-            else:
-                tracked = self._track(frame, features)
-                self._frames_since_keyframe += 1
-                if not tracked:
-                    tracking_failures += 1
-                    # Relocalize from ground truth, as a rescue (real systems
-                    # relocalize from a place-recognition database).
-                    self._pose = (frame.true_position_m.copy(), frame.true_yaw_rad)
-                    self._motion = (np.zeros(3), 0.0)
-                if self._keyframe_due(tracked):
-                    self._insert_keyframe(frame, features)
-                    keyframes_since_ba += 1
-                    if (
-                        keyframes_since_ba >= self.local_ba_every_keyframes
-                        and self.slam_map.keyframe_count >= 2
-                    ):
-                        result = local_bundle_adjust(self.slam_map, self.camera)
-                        self.breakdown.add(Stage.LOCAL_BA, result.modeled_operations)
-                        local_results.append(result)
-                        keyframes_since_ba = 0
-            estimated.append(self._pose[0].copy())
-            truth.append(frame.true_position_m.copy())
+    def process_frame(self, frame: Frame) -> TrackingOutcome:
+        """Run one frame through extraction, tracking, and mapping."""
+        features = self.extractor.extract(frame)
+        self.breakdown.add(Stage.FEATURE_EXTRACTION, features.operations)
 
-        global_result = None
-        if self.slam_map.keyframe_count >= 2:
-            global_result = global_bundle_adjust(self.slam_map, self.camera)
-            self.breakdown.add(Stage.GLOBAL_BA, global_result.modeled_operations)
+        if self._pose is None:
+            self._initialize(frame, features)
+            outcome = TrackingOutcome.TRACKED
+        else:
+            outcome = self._track(frame, features)
+            self._frames_since_keyframe += 1
+            if not outcome.ok:
+                self.tracking_failures += 1
+                self._attempt_recovery(frame, features, outcome)
+            if self._keyframe_due(outcome.ok):
+                self._insert_keyframe(frame, features)
+                self._keyframes_since_ba += 1
+                if (
+                    self._keyframes_since_ba >= self.local_ba_every_keyframes
+                    and self.slam_map.keyframe_count >= 2
+                ):
+                    self._run_local_ba()
+                    self._keyframes_since_ba = 0
+        assert self._pose is not None  # set by _initialize on frame 0
+        self._estimated.append(self._pose[0].copy())
+        self._true.append(frame.true_position_m.copy())
+        self.frames_processed += 1
+        return outcome
 
+    def finalize(self) -> SlamRunResult:
+        """Close the run: global BA over the map, then assemble the result."""
+        if self.frames_processed == 0:
+            raise ValueError("no frames processed")
+        global_result = self._run_global_ba()
         return SlamRunResult(
             sequence_name=self.sequence.spec.name,
-            frames_processed=frame_count,
+            frames_processed=self.frames_processed,
             keyframes=self.slam_map.keyframe_count,
             map_points=self.slam_map.point_count,
             breakdown=self.breakdown,
-            estimated_trajectory=np.stack(estimated),
-            true_trajectory=np.stack(truth),
-            local_ba_results=local_results,
+            estimated_trajectory=np.stack(self._estimated),
+            true_trajectory=np.stack(self._true),
+            local_ba_results=self._local_ba_results,
             global_ba_result=global_result,
-            tracking_failures=tracking_failures,
+            tracking_failures=self.tracking_failures,
         )
 
     # -- internals -------------------------------------------------------------
+
+    def _run_local_ba(self) -> None:
+        """Windowed BA after keyframe insertion (override point for guards)."""
+        result = local_bundle_adjust(self.slam_map, self.camera)
+        self.breakdown.add(Stage.LOCAL_BA, result.modeled_operations)
+        self._local_ba_results.append(result)
+
+    def _run_global_ba(self) -> Optional[BaResult]:
+        """Final map-wide refinement (override point for guards)."""
+        if self.slam_map.keyframe_count < 2:
+            return None
+        result = global_bundle_adjust(self.slam_map, self.camera)
+        self.breakdown.add(Stage.GLOBAL_BA, result.modeled_operations)
+        return result
+
+    def _attempt_recovery(
+        self, frame: Frame, features: FeatureSet, outcome: TrackingOutcome
+    ) -> bool:
+        """React to a lost frame; returns True if the pose was repaired.
+
+        The base policy relocalizes from ground truth — a stand-in for a
+        perfect place-recognition database.  Supervised pipelines override
+        this with the bounded relocalization ladder.
+        """
+        if not self.rescue_from_truth:
+            return False
+        self._pose = (frame.true_position_m.copy(), frame.true_yaw_rad)
+        self._motion = (np.zeros(3), 0.0)
+        return True
+
+    def _reset_map(self) -> None:
+        """Drop all mapping state — relocalization's last-resort reinit."""
+        self.slam_map = SlamMap()
+        self._last_keyframe_features = None
+        self._last_keyframe_pose = None
+        self._last_tracked_count = 0
+        self._matches_at_last_keyframe = 0
+        self._frames_since_keyframe = 0
+        self._keyframes_since_ba = 0
 
     def _initialize(self, frame: Frame, features: FeatureSet) -> None:
         """Bootstrap the map from the first frame at the datum pose."""
@@ -260,8 +329,8 @@ class SlamPipeline:
         )
         return weakened and self._frames_since_keyframe >= 3
 
-    def _track(self, frame: Frame, features: FeatureSet) -> bool:
-        """Match against the map and refine the pose; returns success.
+    def _track(self, frame: Frame, features: FeatureSet) -> TrackingOutcome:
+        """Match against the map and refine the pose; returns the outcome.
 
         Matching is projection-guided (ORB-SLAM's strategy): map points are
         projected with the constant-velocity-predicted pose and compared
@@ -292,22 +361,29 @@ class SlamPipeline:
             pixels.append(tuple(features.keypoints_px[match.index_a]))
         self._last_tracked_count = len(landmarks)
         if len(landmarks) < self.min_tracked_points:
-            return False
+            return TrackingOutcome.TOO_FEW_LANDMARKS
         try:
             result = track_pose(
                 landmarks, pixels, predicted[0], predicted[1], self.camera
             )
         except TrackingLostError:
-            return False
+            return TrackingOutcome.SOLVER_DIVERGED
         self.breakdown.add(Stage.TRACKING, result.operations)
+        if not (
+            np.all(np.isfinite(result.position_m))
+            and math.isfinite(result.yaw_rad)
+            and math.isfinite(result.final_rms_px)
+        ):
+            # Numerical sentinel: never adopt a NaN/Inf pose.
+            return TrackingOutcome.SOLVER_DIVERGED
         if result.final_rms_px > 30.0:
-            return False
+            return TrackingOutcome.HIGH_RESIDUAL
         self._motion = (
             result.position_m - self._pose[0],
             float(result.yaw_rad - self._pose[1]),
         )
         self._pose = (result.position_m, result.yaw_rad)
-        return True
+        return TrackingOutcome.TRACKED
 
     def _insert_keyframe(
         self, frame: Frame, features: FeatureSet, bootstrap: bool = False

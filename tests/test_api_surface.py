@@ -17,6 +17,8 @@ PACKAGES = (
     "repro.slam",
     "repro.platforms",
     "repro.autopilot",
+    "repro.faults",
+    "repro.resilience",
     "repro.reference",
     "repro.report",
 )

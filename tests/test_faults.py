@@ -30,8 +30,11 @@ from repro.faults import (
     FaultInjector,
     FaultKind,
     FaultSchedule,
+    PerceptionFaultInjector,
+    perception_scenarios,
 )
 from repro.sim.simulator import DroneModel, FlightSimulator
+from repro.slam.dataset import load_sequence
 
 
 def make_autopilot(use_ekf: bool = False, **autopilot_kwargs) -> Autopilot:
@@ -334,6 +337,88 @@ class TestFaultInjector:
         assert autopilot.link.burst_model is not None
         injector.apply(3.0)
         assert autopilot.link.burst_model is None
+
+
+# -- perception injector -------------------------------------------------------------
+
+
+class TestPerceptionFaultInjector:
+    def _drought_injector(self, keep_fraction=0.1, seed=101):
+        sequence = load_sequence("MH01", seed=11)
+        schedule = FaultSchedule().add(
+            FaultKind.FEATURE_DROUGHT, start_s=1.0, end_s=2.0,
+            keep_fraction=keep_fraction,
+        )
+        return sequence, PerceptionFaultInjector(sequence, schedule, seed=seed)
+
+    def test_duck_types_the_sequence(self):
+        sequence, injector = self._drought_injector()
+        assert injector.frame_count == sequence.frame_count
+        assert injector.spec is sequence.spec
+        assert injector.camera is sequence.camera
+        np.testing.assert_array_equal(
+            injector.descriptor_for(3), sequence.descriptor_for(3)
+        )
+
+    def test_frames_outside_windows_are_clean(self):
+        sequence = load_sequence("MH01", seed=11)
+        clean = sequence.generate_frame(5)  # t = 0.25 s, before the window
+        sequence2, injector = self._drought_injector()
+        faulted = injector.generate_frame(5)
+        assert faulted.observation_count == clean.observation_count
+        np.testing.assert_array_equal(faulted.descriptors, clean.descriptors)
+        np.testing.assert_allclose(faulted.keypoints_px, clean.keypoints_px)
+
+    def test_drought_starves_observations(self):
+        sequence = load_sequence("MH01", seed=11)
+        clean = sequence.generate_frame(30)  # t = 1.5 s, inside the window
+        _, injector = self._drought_injector(keep_fraction=0.1)
+        faulted = injector.generate_frame(30)
+        assert faulted.observation_count < clean.observation_count * 0.4
+        assert injector.droughts_applied == 1
+
+    def test_corruption_flips_descriptors_not_count(self):
+        sequence = load_sequence("MH01", seed=11)
+        schedule = FaultSchedule().add(
+            FaultKind.FRAME_CORRUPTION, start_s=1.0, end_s=2.0,
+            bit_flip_fraction=0.3, pixel_sigma_px=5.0,
+        )
+        injector = PerceptionFaultInjector(sequence, schedule, seed=101)
+        clean = load_sequence("MH01", seed=11).generate_frame(30)
+        faulted = injector.generate_frame(30)
+        assert faulted.observation_count == clean.observation_count
+        assert np.any(faulted.descriptors != clean.descriptors)
+        assert np.any(np.abs(faulted.keypoints_px - clean.keypoints_px) > 0.5)
+        assert injector.corruptions_applied == 1
+
+    def test_injected_frames_are_deterministic(self):
+        frames_a = [self._drought_injector()[1].generate_frame(i) for i in range(40)]
+        frames_b = [self._drought_injector()[1].generate_frame(i) for i in range(40)]
+        for a, b in zip(frames_a, frames_b):
+            assert a.observation_count == b.observation_count
+            np.testing.assert_array_equal(a.descriptors, b.descriptors)
+            np.testing.assert_allclose(a.keypoints_px, b.keypoints_px)
+
+    def test_throttle_scale_and_frame_scales(self):
+        sequence = load_sequence("MH01", seed=11)
+        schedule = FaultSchedule().add(
+            FaultKind.COMPUTE_THROTTLE, start_s=1.0, end_s=2.0, scale=0.5
+        )
+        injector = PerceptionFaultInjector(sequence, schedule, seed=101)
+        assert injector.throttle_scale(0.5) == 1.0
+        assert injector.throttle_scale(1.5) == 0.5
+        scales = injector.frame_scales(60)
+        assert scales[10] == 1.0  # t = 0.5 s
+        assert scales[30] == 0.5  # t = 1.5 s
+        assert scales[50] == 1.0  # t = 2.5 s
+
+    def test_perception_scenarios_are_well_formed(self):
+        scenarios = perception_scenarios()
+        assert len(scenarios) >= 5
+        assert len({s.name for s in scenarios}) == len(scenarios)
+        for scenario in scenarios:
+            assert scenario.frames > 0
+            assert scenario.schedule_factory().events
 
 
 # -- failsafe state machine ----------------------------------------------------------
