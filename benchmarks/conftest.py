@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.components.catalog import generate_catalog
+from repro.components.catalog import cached_catalog
 from repro.core.explorer import sweep_wheelbase
 from repro.platforms.perf import run_interference_study
 from repro.slam.dataset import all_sequence_names
@@ -21,7 +21,7 @@ BENCH_SLAM_FRAMES = 80
 
 @pytest.fixture(scope="session")
 def catalog():
-    return generate_catalog()
+    return cached_catalog()
 
 
 @pytest.fixture(scope="session")

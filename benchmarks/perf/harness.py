@@ -1,0 +1,140 @@
+"""Steady-state timing harness for the perf-regression benchmarks.
+
+Wall-clock timing lives here, *outside* ``src/`` — the determinism checker
+(`repro.analysis`) bans wall-clock reads in library code, and rightly so;
+benchmarks are the one place measuring real time is the point.
+
+The measurement discipline:
+
+* every workload is warmed up before any sample is taken (imports, caches,
+  allocator pools, branch predictors all settle);
+* each sample is one full workload invocation under ``time.perf_counter``;
+* the reported statistic is the **median** of N runs — robust against the
+  one-sided noise (scheduler preemption, thermal dips) that plagues shared
+  runners.  The minimum is recorded too, as the low-noise floor estimate.
+
+Baselines are plain JSON (``BENCH_*.json``) so CI can diff them without any
+tooling beyond this file.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Median regression beyond this fraction of the baseline fails a compare.
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Steady-state timing of one workload."""
+
+    name: str
+    median_s: float
+    min_s: float
+    mean_s: float
+    runs: int
+    warmup: int
+
+    def as_dict(self) -> dict:
+        return {
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "mean_s": self.mean_s,
+            "runs": self.runs,
+            "warmup": self.warmup,
+        }
+
+
+def time_callable(
+    name: str,
+    fn: Callable[[], object],
+    *,
+    warmup: int = 3,
+    runs: int = 9,
+) -> TimingResult:
+    """Median-of-``runs`` wall-clock timing of ``fn`` after ``warmup`` calls."""
+    if runs < 1:
+        raise ValueError(f"need at least one timed run, got {runs}")
+    if warmup < 0:
+        raise ValueError(f"warmup cannot be negative, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        name=name,
+        median_s=float(statistics.median(samples)),
+        min_s=float(min(samples)),
+        mean_s=float(statistics.fmean(samples)),
+        runs=runs,
+        warmup=warmup,
+    )
+
+
+def write_baseline(
+    path: Path,
+    results: List[TimingResult],
+    extra: Optional[dict] = None,
+) -> None:
+    """Serialize timing results (plus metadata) as a baseline JSON file."""
+    payload: dict = {
+        "schema": SCHEMA_VERSION,
+        "workloads": {r.name: r.as_dict() for r in results},
+    }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> dict:
+    """Load a baseline JSON, validating its schema version."""
+    payload = json.loads(path.read_text())
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path.name}: baseline schema {schema} != expected {SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def compare_to_baseline(
+    results: List[TimingResult],
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regression report: one line per workload slower than baseline allows.
+
+    A workload regresses when its fresh median exceeds the baseline median
+    by more than ``tolerance`` (fractional).  Workloads missing from the
+    baseline are skipped — new benchmarks should not fail the first compare.
+    Returns the list of regression messages (empty = pass).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance cannot be negative, got {tolerance}")
+    regressions: List[str] = []
+    workloads: Dict[str, dict] = baseline.get("workloads", {})
+    for result in results:
+        base = workloads.get(result.name)
+        if base is None:
+            continue
+        base_median = float(base["median_s"])
+        limit = base_median * (1.0 + tolerance)
+        if result.median_s > limit:
+            regressions.append(
+                f"{result.name}: median {result.median_s * 1e3:.3f} ms exceeds "
+                f"baseline {base_median * 1e3:.3f} ms by more than "
+                f"{tolerance:.0%} (limit {limit * 1e3:.3f} ms)"
+            )
+    return regressions

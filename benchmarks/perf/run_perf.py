@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Performance benchmark runner: grid evaluation, simulator, SLAM.
+
+Times the three hot paths of the repository and writes/compares baselines:
+
+* ``BENCH_sweep.json`` — the Figure 10 design-space grid (3 wheelbases x
+  3 cell counts x 29 capacities = 261 points) evaluated by the scalar
+  oracle (one ``DroneDesign.evaluate()`` per point) and by the vectorized
+  engine (one ``evaluate_batch`` call).  The speedup between the two is
+  the headline number of the batched engine and is asserted to stay
+  above ``--min-speedup``.
+* ``BENCH_sim.json`` — a 30 s closed-loop simulator run of the paper's
+  test drone, and a 10-frame SLAM pipeline step.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py               # write baselines here
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --output-dir out/
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --compare benchmarks/perf
+
+``--compare DIR`` exits non-zero when any workload's median regresses more
+than ``--tolerance`` (default 25%) against the baselines found in DIR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from harness import (
+    DEFAULT_TOLERANCE,
+    TimingResult,
+    compare_to_baseline,
+    load_baseline,
+    time_callable,
+    write_baseline,
+)
+
+from repro.core.batch import evaluate_batch
+from repro.core.design import DroneDesign
+from repro.core.equations import InfeasibleDesignError
+from repro.core.explorer import (
+    CAPACITY_SWEEP_MAH,
+    FIG10_CELL_COUNTS,
+    FIG10_WHEELBASES_MM,
+)
+from repro.sim.simulator import DroneModel, FlightSimulator
+from repro.slam.dataset import all_sequence_names
+from repro.slam.pipeline import run_slam
+
+#: Simulated duration of the simulator workload (seconds of flight).
+SIM_DURATION_S = 30.0
+
+#: Frames for the SLAM pipeline step — enough to exercise every stage
+#: (tracking, triangulation, local BA) without CI-hostile runtimes.
+SLAM_FRAMES = 10
+
+
+def _fig10_grid_arrays():
+    cells = np.repeat(
+        np.asarray(FIG10_CELL_COUNTS, dtype=np.int64), len(CAPACITY_SWEEP_MAH)
+    )
+    capacities = np.tile(
+        np.asarray(CAPACITY_SWEEP_MAH, dtype=float), len(FIG10_CELL_COUNTS)
+    )
+    wheelbases = np.concatenate(
+        [np.full(cells.size, wb) for wb in FIG10_WHEELBASES_MM]
+    )
+    return wheelbases, np.tile(cells, 3), np.tile(capacities, 3)
+
+
+def sweep_workloads(runs: int, warmup: int) -> List[TimingResult]:
+    """Scalar-oracle vs batched-engine evaluation of the Figure 10 grid."""
+    wheelbases, cells, capacities = _fig10_grid_arrays()
+
+    def scalar_grid() -> None:
+        for wb, cell_count, capacity in zip(wheelbases, cells, capacities):
+            try:
+                DroneDesign(
+                    wheelbase_mm=float(wb),
+                    battery_cells=int(cell_count),
+                    battery_capacity_mah=float(capacity),
+                ).evaluate()
+            except InfeasibleDesignError:
+                pass
+
+    def batch_grid() -> None:
+        evaluate_batch(wheelbases, cells, capacities)
+
+    return [
+        time_callable("scalar_grid_eval", scalar_grid, warmup=warmup, runs=runs),
+        time_callable("batch_grid_eval", batch_grid, warmup=warmup, runs=runs),
+    ]
+
+
+def sim_workload(runs: int, warmup: int) -> TimingResult:
+    """A 30 s closed-loop hover flight of the paper's test drone."""
+    model = DroneModel(
+        mass_kg=1.071,
+        wheelbase_mm=450.0,
+        battery_cells=3,
+        battery_capacity_mah=3000.0,
+        compute_power_w=4.56,
+        sensors_power_w=1.0,
+    )
+
+    def fly() -> None:
+        sim = FlightSimulator(model, physics_rate_hz=500.0)
+        sim.goto([0.0, 0.0, 5.0])
+        sim.run_for(SIM_DURATION_S)
+
+    return time_callable("sim_30s_hover", fly, warmup=warmup, runs=runs)
+
+
+def slam_workload(runs: int, warmup: int) -> TimingResult:
+    """One short SLAM pipeline run over the first benchmark sequence."""
+    sequence = all_sequence_names()[0]
+
+    def step() -> None:
+        run_slam(sequence, max_frames=SLAM_FRAMES)
+
+    return time_callable("slam_pipeline_step", step, warmup=warmup, runs=runs)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent,
+        help="directory to write BENCH_sweep.json / BENCH_sim.json into",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE_DIR",
+        help="compare against baselines in this directory instead of "
+        "only writing new ones; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fractional median regression allowed in --compare mode",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required batch-vs-scalar grid speedup (0 disables the check)",
+    )
+    parser.add_argument(
+        "--sweep-runs", type=int, default=15, help="timed runs per sweep workload"
+    )
+    parser.add_argument(
+        "--heavy-runs", type=int, default=3, help="timed runs for sim/SLAM workloads"
+    )
+    args = parser.parse_args(argv)
+
+    # Load baselines up front so comparing against the default output
+    # directory still sees the *previous* run, not the files written below.
+    baselines = {}
+    if args.compare is not None:
+        for name in ("BENCH_sweep.json", "BENCH_sim.json"):
+            baseline_path = args.compare / name
+            if baseline_path.exists():
+                baselines[name] = load_baseline(baseline_path)
+            else:
+                print(f"no baseline {baseline_path}; skipping its compare")
+
+    print("timing design-space grid evaluation (261-point Figure 10 grid)...")
+    sweep_results = sweep_workloads(runs=args.sweep_runs, warmup=5)
+    by_name = {r.name: r for r in sweep_results}
+    speedup = (
+        by_name["scalar_grid_eval"].median_s / by_name["batch_grid_eval"].median_s
+    )
+    for result in sweep_results:
+        print(
+            f"  {result.name}: median {result.median_s * 1e3:.3f} ms "
+            f"(min {result.min_s * 1e3:.3f} ms, n={result.runs})"
+        )
+    print(f"  batch speedup over scalar: {speedup:.1f}x")
+
+    print(f"timing {SIM_DURATION_S:.0f} s simulator run...")
+    sim_result = sim_workload(runs=args.heavy_runs, warmup=1)
+    print(f"  {sim_result.name}: median {sim_result.median_s:.3f} s")
+
+    print(f"timing SLAM pipeline step ({SLAM_FRAMES} frames)...")
+    slam_result = slam_workload(runs=args.heavy_runs, warmup=1)
+    print(f"  {slam_result.name}: median {slam_result.median_s:.3f} s")
+
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    sweep_path = args.output_dir / "BENCH_sweep.json"
+    sim_path = args.output_dir / "BENCH_sim.json"
+    write_baseline(
+        sweep_path,
+        sweep_results,
+        extra={
+            "speedup": speedup,
+            "grid_points": 261,
+            "wheelbases_mm": list(FIG10_WHEELBASES_MM),
+        },
+    )
+    write_baseline(
+        sim_path,
+        [sim_result, slam_result],
+        extra={
+            "sim_duration_s": SIM_DURATION_S,
+            "slam_frames": SLAM_FRAMES,
+        },
+    )
+    print(f"wrote {sweep_path} and {sim_path}")
+
+    failed = False
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(
+            f"FAIL: batch speedup {speedup:.1f}x below required "
+            f"{args.min_speedup:.1f}x"
+        )
+        failed = True
+
+    if args.compare is not None:
+        regressions: List[str] = []
+        compared = 0
+        for name, results in (
+            ("BENCH_sweep.json", sweep_results),
+            ("BENCH_sim.json", [sim_result, slam_result]),
+        ):
+            baseline = baselines.get(name)
+            if baseline is None:
+                continue
+            compared += len(results)
+            regressions.extend(
+                compare_to_baseline(results, baseline, tolerance=args.tolerance)
+            )
+        if regressions:
+            print("PERF REGRESSIONS:")
+            for line in regressions:
+                print(f"  {line}")
+            failed = True
+        else:
+            print(f"compare vs {args.compare}: no regressions "
+                  f"(tolerance {args.tolerance:.0%}, {compared} workloads)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

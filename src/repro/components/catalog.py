@@ -191,3 +191,27 @@ def generate_catalog(seed: int = DEFAULT_SEED) -> ComponentCatalog:
         frames=generate_frames(seed=seed),
         motors=generate_motors(seed=seed),
     )
+
+
+#: Seed-keyed memo for :func:`cached_catalog`.
+_CATALOG_CACHE: Dict[int, ComponentCatalog] = {}
+
+
+def cached_catalog(seed: int = DEFAULT_SEED) -> ComponentCatalog:
+    """Memoized :func:`generate_catalog`, keyed by seed.
+
+    Catalog generation samples ~300 components and costs milliseconds each
+    time; sweeps and benches that re-derive fits used to regenerate it per
+    call.  The returned catalog is shared between callers — treat it as
+    read-only (use :func:`generate_catalog` for a private mutable copy).
+    """
+    catalog = _CATALOG_CACHE.get(seed)
+    if catalog is None:
+        catalog = generate_catalog(seed=seed)
+        _CATALOG_CACHE[seed] = catalog
+    return catalog
+
+
+def clear_catalog_cache() -> None:
+    """Drop every memoized catalog (test isolation hook)."""
+    _CATALOG_CACHE.clear()

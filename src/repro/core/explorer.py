@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.components.compute import ADVANCED_CHIP_POWER_W, BASIC_CHIP_POWER_W
+from repro.core.batch import capacity_cells_grid, evaluate_batch
 from repro.core.design import DesignEvaluation, DroneDesign
 from repro.core.equations import InfeasibleDesignError
 from repro.physics import constants
@@ -80,7 +81,12 @@ class SweepResult:
         ]
         if not candidates:
             return None
-        return max(candidates, key=lambda p: p.flight_time_min)
+        # Deterministic tie-break: on equal flight time prefer the lighter
+        # build, then the smaller battery — independent of insertion order.
+        return min(
+            candidates,
+            key=lambda p: (-p.flight_time_min, p.weight_g, p.capacity_mah),
+        )
 
     def weight_range_g(self) -> Tuple[float, float]:
         if not self.points:
@@ -100,22 +106,64 @@ def sweep_wheelbase(
     payload_g: float = 0.0,
     twr: float = constants.MIN_FLYABLE_TWR,
     avionics_weight_g: Optional[float] = None,
+    engine: str = "batch",
 ) -> SweepResult:
     """Sweep battery capacity and cell count for one wheelbase (Fig 10a-c).
 
     ``avionics_weight_g`` (GPS, receiver, telemetry, power module) scales
     with the wheelbase by default: a 450 mm build carries ~80 g of avionics
     (the paper's own drone, Figure 14) while a 100 mm build carries far less.
+
+    ``engine`` selects the evaluation backend: ``"batch"`` (default) runs
+    the vectorized engine (:mod:`repro.core.batch`); ``"scalar"`` keeps the
+    original one-design-at-a-time loop as the oracle.  The two are
+    bit-for-bit equal (pinned by ``tests/test_core_batch.py``).
     """
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown sweep engine: {engine!r}")
     if avionics_weight_g is None:
         avionics_weight_g = min(120.0, max(10.0, 80.0 * wheelbase_mm / 450.0))
     result = SweepResult(wheelbase_mm=wheelbase_mm)
-    for cells in cell_counts:
-        for capacity in capacities_mah:
+    cell_list = [int(c) for c in cell_counts]
+    capacity_list = [float(c) for c in capacities_mah]
+    if engine == "batch":
+        if not cell_list or not capacity_list:
+            return result
+        batch = evaluate_batch(
+            wheelbase_mm,
+            compute_power_w=compute_power_w,
+            compute_weight_g=compute_weight_g,
+            sensors_power_w=sensors_power_w,
+            sensors_weight_g=sensors_weight_g,
+            payload_g=payload_g,
+            twr=twr,
+            avionics_weight_g=avionics_weight_g,
+            **capacity_cells_grid(tuple(cell_list), tuple(capacity_list)),
+        )
+        for index, (cells, capacity) in enumerate(
+            (c, cap) for c in cell_list for cap in capacity_list
+        ):
+            evaluation = batch.evaluation(index)
+            if evaluation is None:
+                result.infeasible.append(
+                    (cells, capacity, batch.failure_message(index))
+                )
+                continue
+            result.points.append(
+                SweepPoint(
+                    wheelbase_mm=wheelbase_mm,
+                    cells=cells,
+                    capacity_mah=capacity,
+                    evaluation=evaluation,
+                )
+            )
+        return result
+    for cells in cell_list:
+        for capacity in capacity_list:
             design = DroneDesign(
                 wheelbase_mm=wheelbase_mm,
                 battery_cells=cells,
-                battery_capacity_mah=float(capacity),
+                battery_capacity_mah=capacity,
                 compute_power_w=compute_power_w,
                 compute_weight_g=compute_weight_g,
                 sensors_power_w=sensors_power_w,
@@ -127,13 +175,13 @@ def sweep_wheelbase(
             try:
                 evaluation = design.evaluate()
             except InfeasibleDesignError as error:
-                result.infeasible.append((cells, float(capacity), str(error)))
+                result.infeasible.append((cells, capacity, str(error)))
                 continue
             result.points.append(
                 SweepPoint(
                     wheelbase_mm=wheelbase_mm,
                     cells=cells,
-                    capacity_mah=float(capacity),
+                    capacity_mah=capacity,
                     evaluation=evaluation,
                 )
             )
@@ -212,7 +260,9 @@ def _lowest_power_frontier(points: List[SweepPoint]) -> List[SweepPoint]:
     """
     buckets: Dict[int, SweepPoint] = {}
     for point in points:
-        bucket = int(point.weight_g // 100)
+        # Round before flooring: a weight at exactly a 100 g boundary must
+        # land in a stable bucket across sub-micro-gram float jitter.
+        bucket = int(round(point.weight_g, 6) // 100)
         current = buckets.get(bucket)
         if current is None or point.hover_power_w < current.hover_power_w:
             buckets[bucket] = point

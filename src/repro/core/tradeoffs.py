@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.components.base import LinearFit, linear_fit
 from repro.components.battery import FIG7_WEIGHT_FITS, BatterySpec
-from repro.components.catalog import ComponentCatalog
+from repro.components.catalog import DEFAULT_SEED, ComponentCatalog, cached_catalog
 from repro.components.esc import FIG8A_WEIGHT_FITS, EscClass, EscSpec
 from repro.components.frame import FrameSpec, SMALL_FRAME_LIMIT_MM
 from repro.core.equations import motor_max_current_a
@@ -65,6 +65,46 @@ def fit_frame_weight(frames: Sequence[FrameSpec]) -> LinearFit:
     if len(large) < 2:
         raise ValueError("need at least two large frames to fit the Fig 8b line")
     return linear_fit((f.wheelbase_mm for f in large), (f.weight_g for f in large))
+
+
+@dataclass(frozen=True)
+class CatalogFits:
+    """Every regression fit re-derived from one catalog seed."""
+
+    seed: int
+    battery: Dict[int, LinearFit]
+    esc: Dict[EscClass, LinearFit]
+    frame: LinearFit
+
+
+#: Seed-keyed memo for :func:`catalog_fits`.
+_FIT_CACHE: Dict[int, CatalogFits] = {}
+
+
+def catalog_fits(seed: int = DEFAULT_SEED) -> CatalogFits:
+    """Memoized least-squares re-derivation of all component fits.
+
+    The Figure 7/8a/8b regressions depend only on the catalog seed, so
+    repeated sweeps and benches share one fit per seed instead of
+    re-running least squares each call.  Backed by
+    :func:`repro.components.catalog.cached_catalog`.
+    """
+    fits = _FIT_CACHE.get(seed)
+    if fits is None:
+        catalog = cached_catalog(seed)
+        fits = CatalogFits(
+            seed=seed,
+            battery=fit_battery_weight(catalog.batteries),
+            esc=fit_esc_weight(catalog.escs),
+            frame=fit_frame_weight(catalog.frames),
+        )
+        _FIT_CACHE[seed] = fits
+    return fits
+
+
+def clear_fit_cache() -> None:
+    """Drop every memoized fit (test isolation hook)."""
+    _FIT_CACHE.clear()
 
 
 @dataclass(frozen=True)

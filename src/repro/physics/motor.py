@@ -167,7 +167,9 @@ def motor_mass_g_for(kv_rpm_per_v: float, max_thrust_g: float) -> float:
     # with Kv (bigger props, slower spin, more torque).  Calibrated to the
     # paper's span: ~5 g/motor on 100 mm frames, ~150 g on 800-1000 mm.
     torque_proxy = max_thrust_g / math.sqrt(kv_rpm_per_v)
-    mass = 4.2 * torque_proxy**0.75
+    # x^0.75 spelled as sqrt(x*sqrt(x)): exactly-rounded ops keep the scalar
+    # path bit-identical to the vectorized engine (repro.core.batch).
+    mass = 4.2 * math.sqrt(torque_proxy * math.sqrt(torque_proxy))
     return max(2.0, mass)
 
 

@@ -36,7 +36,11 @@ def ideal_hover_power_w(
         raise ValueError(f"thrust must be non-negative, got {thrust_n}")
     if disk_area_m2 <= 0:
         raise ValueError(f"disk area must be positive, got {disk_area_m2}")
-    return thrust_n ** 1.5 / math.sqrt(2.0 * air_density * disk_area_m2)
+    # T^1.5 spelled as T*sqrt(T): sqrt and multiply are exactly rounded in
+    # IEEE-754, so the scalar path and the vectorized engine
+    # (repro.core.batch) agree bit for bit — libm pow and NumPy's array pow
+    # differ by 1 ULP.
+    return thrust_n * math.sqrt(thrust_n) / math.sqrt(2.0 * air_density * disk_area_m2)
 
 
 @hot_path

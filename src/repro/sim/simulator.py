@@ -12,6 +12,7 @@ predictions agree by construction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -23,10 +24,7 @@ from repro.control.estimation import InsEkf
 from repro.physics import constants
 from repro.physics.battery_model import BatteryDepletedError, LipoBattery
 from repro.physics.environment import Environment, Wind
-from repro.physics.propeller import (
-    hover_electrical_power_w,
-    max_propeller_inch_for_wheelbase,
-)
+from repro.physics.propeller import max_propeller_inch_for_wheelbase
 from repro.physics.rigid_body import QuadcopterBody, QuadcopterState
 from repro.sensors.suite import SensorSuite
 
@@ -149,6 +147,13 @@ class FlightSimulator:
         self._record_period_s = 1.0 / record_rate_hz
         self._next_record_s = 0.0
         self._hover_eff = constants.HOVER_OVERALL_EFFICIENCY
+        # Momentum-theory denominator sqrt(2*rho*A), hoisted out of the
+        # per-tick power evaluation (the propeller never changes in flight).
+        self._induced_power_denom = math.sqrt(
+            2.0
+            * constants.AIR_DENSITY_SEA_LEVEL_KG_M3
+            * constants.propeller_disk_area_m2(model.propeller_inch)
+        )
         self._last_current_a = 0.0
 
     # -- target passthrough ------------------------------------------------------
@@ -181,16 +186,17 @@ class FlightSimulator:
 
     @hot_path
     def electrical_power_w(self, motor_thrusts_n: np.ndarray) -> float:
-        """Instantaneous electrical power (W) at the given rotor thrusts."""
-        propeller_inch = self.model.propeller_inch
-        propulsion = 0.0
-        for thrust in motor_thrusts_n:
-            propulsion += hover_electrical_power_w(
-                max(0.0, float(thrust)),
-                propeller_inch,
-                figure_of_merit=self._hover_eff,
-                drive_efficiency=1.0,
-            )
+        """Instantaneous electrical power (W) at the given rotor thrusts.
+
+        Vectorized momentum-theory chain: ``T*sqrt(T)/sqrt(2*rho*A)`` over
+        all four rotors at once.  Bit-identical to summing
+        :func:`repro.physics.propeller.hover_electrical_power_w` per motor
+        (``np.sum`` adds a four-element array in the same left-to-right
+        order the loop did); the equality is pinned by the test suite.
+        """
+        thrusts_n = np.maximum(np.asarray(motor_thrusts_n, dtype=float), 0.0)
+        ideal_w = thrusts_n * np.sqrt(thrusts_n) / self._induced_power_denom
+        propulsion = float(np.sum(ideal_w / (self._hover_eff * 1.0)))
         return propulsion + self.model.compute_power_w + self.model.sensors_power_w
 
     @hot_path

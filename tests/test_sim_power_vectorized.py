@@ -1,0 +1,82 @@
+"""Equality pin for the vectorized simulator power model.
+
+``FlightSimulator.electrical_power_w`` replaced a per-motor Python loop
+over :func:`repro.physics.propeller.hover_electrical_power_w` with array
+math.  These tests keep the replacement honest: the vectorized form must
+be *bit-for-bit* equal to the loop it displaced, including the clamping of
+negative commanded thrusts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.physics.propeller import hover_electrical_power_w
+from repro.sim.simulator import DroneModel, FlightSimulator
+
+
+def _loop_power_w(sim: FlightSimulator, motor_thrusts_n: np.ndarray) -> float:
+    """The original per-motor loop, kept verbatim as the oracle."""
+    propeller_inch = sim.model.propeller_inch
+    propulsion = 0.0
+    for thrust in motor_thrusts_n:
+        propulsion += hover_electrical_power_w(
+            max(0.0, float(thrust)),
+            propeller_inch,
+            figure_of_merit=sim._hover_eff,
+            drive_efficiency=1.0,
+        )
+    return propulsion + sim.model.compute_power_w + sim.model.sensors_power_w
+
+
+@pytest.fixture
+def simulator() -> FlightSimulator:
+    model = DroneModel(
+        mass_kg=1.071,
+        wheelbase_mm=450.0,
+        battery_cells=3,
+        battery_capacity_mah=3000.0,
+        compute_power_w=4.56,
+        sensors_power_w=1.0,
+    )
+    return FlightSimulator(model)
+
+
+class TestVectorizedElectricalPower:
+    def test_matches_loop_bitwise_on_random_thrusts(self, simulator):
+        rng = np.random.default_rng(20210419)
+        for _ in range(500):
+            thrusts = rng.uniform(-2.0, 12.0, 4)
+            assert simulator.electrical_power_w(thrusts) == _loop_power_w(
+                simulator, thrusts
+            )
+
+    def test_matches_loop_across_models(self):
+        rng = np.random.default_rng(7)
+        for wheelbase_mm in (100.0, 200.0, 450.0, 800.0):
+            model = DroneModel(
+                mass_kg=0.3 + wheelbase_mm / 400.0,
+                wheelbase_mm=wheelbase_mm,
+                battery_cells=3,
+                battery_capacity_mah=2200.0,
+                compute_power_w=3.0,
+                sensors_power_w=2.0,
+            )
+            sim = FlightSimulator(model)
+            for _ in range(100):
+                thrusts = rng.uniform(0.0, 6.0, 4)
+                assert sim.electrical_power_w(thrusts) == _loop_power_w(
+                    sim, thrusts
+                )
+
+    def test_negative_thrusts_clamp_to_zero(self, simulator):
+        idle = simulator.electrical_power_w(np.zeros(4))
+        clamped = simulator.electrical_power_w(np.array([-1.0, -0.5, 0.0, -3.0]))
+        assert clamped == idle
+        assert idle == (
+            simulator.model.compute_power_w + simulator.model.sensors_power_w
+        )
+
+    def test_power_scales_with_thrust(self, simulator):
+        low = simulator.electrical_power_w(np.full(4, 1.0))
+        high = simulator.electrical_power_w(np.full(4, 4.0))
+        assert high > low > 0.0
