@@ -443,3 +443,14 @@ class Autopilot:
     @property
     def mission_complete(self) -> bool:
         return bool(self.mission) and self._mission_index >= len(self.mission)
+
+    @property
+    def mission_progress(self) -> float:
+        """Fraction of uploaded mission items reached, in [0, 1].
+
+        0.0 with no mission uploaded — the public accessor harnesses use
+        instead of reaching into ``_mission_index``.
+        """
+        if not self.mission:
+            return 0.0
+        return min(1.0, self._mission_index / len(self.mission))

@@ -1,0 +1,192 @@
+"""Black-box flight recorder: bounded tick history + JSON crash traces.
+
+Real flight controllers carry a black box: a ring buffer of recent state
+that survives the crash and explains it.  :class:`FlightRecorder` is that
+device for chaos trials — every control tick it snapshots vehicle state,
+commands-in-effect, and failsafe ladder position into a ``deque`` with a
+hard ``maxlen``, so a thousand-trial campaign holds memory flat and still
+has the final seconds of every failure at full resolution.
+
+On a violation or crash the runner freezes the buffer into a
+:class:`BlackBoxTrace`: a JSON document carrying the trial's identity
+``(campaign_seed, trial_index)``, its exact fault schedule, the verdict,
+and the recorded ticks — everything the deterministic replay harness needs
+to re-fly the trial bit-for-bit from the trace file alone.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.autopilot.arducopter import Autopilot
+from repro.chaos.invariants import Violation
+from repro.faults.schedule import FaultSchedule
+
+#: Black-box trace format version (bump on incompatible schema changes).
+TRACE_FORMAT = 1
+
+
+def _vec3(values: Any) -> Tuple[float, float, float]:
+    return (float(values[0]), float(values[1]), float(values[2]))
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """One control tick of black-box state."""
+
+    time_s: float
+    position_m: Tuple[float, float, float]
+    velocity_m_s: Tuple[float, float, float]
+    euler_rad: Tuple[float, float, float]
+    battery_soc: float
+    failsafe: str
+    mode: str
+    active_faults: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time_s": self.time_s,
+            "position_m": list(self.position_m),
+            "velocity_m_s": list(self.velocity_m_s),
+            "euler_rad": list(self.euler_rad),
+            "battery_soc": self.battery_soc,
+            "failsafe": self.failsafe,
+            "mode": self.mode,
+            "active_faults": list(self.active_faults),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TickRecord":
+        return cls(
+            time_s=float(data["time_s"]),
+            position_m=_vec3(data["position_m"]),
+            velocity_m_s=_vec3(data["velocity_m_s"]),
+            euler_rad=_vec3(data["euler_rad"]),
+            battery_soc=float(data["battery_soc"]),
+            failsafe=str(data["failsafe"]),
+            mode=str(data["mode"]),
+            active_faults=tuple(str(v) for v in data["active_faults"]),
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of per-tick state snapshots."""
+
+    def __init__(self, maxlen: int = 400):
+        if maxlen <= 0:
+            raise ValueError(f"recorder maxlen must be positive: {maxlen}")
+        self.maxlen = maxlen
+        self.ticks: Deque[TickRecord] = deque(maxlen=maxlen)
+        self.total_ticks = 0
+
+    def record(
+        self,
+        autopilot: Autopilot,
+        active_faults: Tuple[str, ...] = (),
+    ) -> TickRecord:
+        """Snapshot the stack's current state into the ring buffer."""
+        state = autopilot.sim.body.state
+        tick = TickRecord(
+            time_s=autopilot.sim.time_s,
+            position_m=(
+                float(state.position_m[0]),
+                float(state.position_m[1]),
+                float(state.position_m[2]),
+            ),
+            velocity_m_s=(
+                float(state.velocity_m_s[0]),
+                float(state.velocity_m_s[1]),
+                float(state.velocity_m_s[2]),
+            ),
+            euler_rad=(
+                float(state.euler_rad[0]),
+                float(state.euler_rad[1]),
+                float(state.euler_rad[2]),
+            ),
+            battery_soc=autopilot.sim.battery.state_of_charge,
+            failsafe=autopilot.failsafe.name,
+            mode=autopilot.mode.value,
+            active_faults=active_faults,
+        )
+        self.ticks.append(tick)
+        self.total_ticks += 1
+        return tick
+
+    @property
+    def dropped_ticks(self) -> int:
+        """Ticks that have rolled out of the ring buffer."""
+        return self.total_ticks - len(self.ticks)
+
+
+@dataclass
+class BlackBoxTrace:
+    """A dumped black box: trial identity + schedule + verdict + ticks."""
+
+    campaign_seed: int
+    trial_index: int
+    link_seed: int
+    verdict: str
+    schedule: FaultSchedule
+    violation: Optional[Violation] = None
+    events: Tuple[Tuple[float, str], ...] = ()
+    ticks: List[TickRecord] = field(default_factory=list)
+    dropped_ticks: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "campaign_seed": self.campaign_seed,
+            "trial_index": self.trial_index,
+            "link_seed": self.link_seed,
+            "verdict": self.verdict,
+            "schedule": self.schedule.to_jsonable(),
+            "violation": (
+                None if self.violation is None else self.violation.to_dict()
+            ),
+            "events": [[time_s, text] for time_s, text in self.events],
+            "dropped_ticks": self.dropped_ticks,
+            "ticks": [tick.to_dict() for tick in self.ticks],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BlackBoxTrace":
+        if int(data.get("format", TRACE_FORMAT)) != TRACE_FORMAT:
+            raise ValueError(f"unsupported trace format: {data.get('format')}")
+        violation = data.get("violation")
+        return cls(
+            campaign_seed=int(data["campaign_seed"]),
+            trial_index=int(data["trial_index"]),
+            link_seed=int(data["link_seed"]),
+            verdict=str(data["verdict"]),
+            schedule=FaultSchedule.from_jsonable(data["schedule"]),
+            violation=None if violation is None else Violation.from_dict(violation),
+            events=tuple(
+                (float(time_s), str(text)) for time_s, text in data.get("events", [])
+            ),
+            ticks=[TickRecord.from_dict(item) for item in data.get("ticks", [])],
+            dropped_ticks=int(data.get("dropped_ticks", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BlackBoxTrace":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> Tuple:
+        """Bit-for-bit comparison key used by the replay determinism check."""
+        return (
+            self.campaign_seed,
+            self.trial_index,
+            self.link_seed,
+            self.verdict,
+            tuple(self.schedule.events),
+            self.violation,
+            self.events,
+            tuple(self.ticks),
+            self.dropped_ticks,
+        )

@@ -14,6 +14,7 @@ from repro.faults.schedule import (
     OFFLOAD_KINDS,
     PERCEPTION_KINDS,
 )
+from repro.faults.envelope import CrashEnvelope, DEFAULT_CRASH_ENVELOPE
 from repro.faults.injectors import FaultInjector
 from repro.faults.perception import (
     PerceptionFaultInjector,
@@ -33,6 +34,8 @@ __all__ = [
     "FaultSchedule",
     "OFFLOAD_KINDS",
     "PERCEPTION_KINDS",
+    "CrashEnvelope",
+    "DEFAULT_CRASH_ENVELOPE",
     "FaultInjector",
     "PerceptionFaultInjector",
     "PerceptionScenario",

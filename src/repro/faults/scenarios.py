@@ -18,6 +18,7 @@ import numpy as np
 from repro.autopilot.arducopter import Autopilot, FlightMode, MissionItem
 from repro.autopilot.mavlink import Link, MessageType
 from repro.autopilot.offload import PoseStalenessWatchdog
+from repro.faults.envelope import DEFAULT_CRASH_ENVELOPE, CrashEnvelope
 from repro.faults.injectors import FaultInjector
 from repro.faults.schedule import FaultKind, FaultSchedule
 from repro.sim.simulator import DroneModel, FlightSimulator
@@ -98,26 +99,11 @@ class ScenarioResult:
         )
 
 
-def _crash_reason(sim: FlightSimulator) -> Optional[str]:
-    """Detect loss of vehicle from ground-truth state."""
-    state = sim.body.state
-    altitude = float(state.position_m[2])
-    tilt = float(np.linalg.norm(state.euler_rad[0:2]))
-    if tilt > math.radians(75.0):
-        return "loss of control (tilt)"
-    if altitude < -0.3:
-        return "ground impact"
-    if altitude < 0.15 and float(state.velocity_m_s[2]) < -3.0:
-        return "hard landing"
-    if sim.depleted and altitude > 1.0:
-        return "battery depleted in flight"
-    return None
-
-
 def run_scenario(
     scenario: Scenario,
     seed: int = 7,
     physics_rate_hz: float = 400.0,
+    envelope: CrashEnvelope = DEFAULT_CRASH_ENVELOPE,
 ) -> ScenarioResult:
     """Fly one scenario to completion and measure the outcome."""
     model = DroneModel(**DEFAULT_MODEL)
@@ -147,7 +133,7 @@ def run_scenario(
             autopilot.pose_watchdog.note_pose(now)
         autopilot.update(CONTROL_STEP_S)
         min_soc = min(min_soc, sim.battery.state_of_charge)
-        crash = _crash_reason(sim)
+        crash = envelope.crash_reason(sim)
         return crash is None
 
     autopilot.arm()
@@ -166,9 +152,7 @@ def run_scenario(
             alive = tick()
             elapsed += CONTROL_STEP_S
 
-    completion = min(
-        1.0, autopilot._mission_index / max(1, len(autopilot.mission))
-    )
+    completion = autopilot.mission_progress
     altitude = float(sim.body.state.position_m[2])
     return ScenarioResult(
         scenario=scenario.name,

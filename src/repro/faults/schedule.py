@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 class FaultKind(enum.Enum):
@@ -89,6 +89,25 @@ class FaultEvent:
     def active(self, time_s: float) -> bool:
         return self.start_s <= time_s < self.end_s
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding (open-ended windows encode ``end_s`` as None)."""
+        return {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "end_s": None if math.isinf(self.end_s) else self.end_s,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        end_s = data.get("end_s")
+        return cls.make(
+            FaultKind(data["kind"]),
+            start_s=float(data["start_s"]),
+            end_s=math.inf if end_s is None else float(end_s),
+            **{str(k): float(v) for k, v in dict(data.get("params", {})).items()},
+        )
+
 
 @dataclass
 class FaultSchedule:
@@ -133,6 +152,20 @@ class FaultSchedule:
     def first_fault_s(self) -> float:
         """Onset of the earliest fault (inf for an empty schedule)."""
         return self.events[0].start_s if self.events else math.inf
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """The schedule as a list of JSON-safe event dicts.
+
+        This is the black-box flight recorder's on-disk format: a failing
+        chaos trial stores its exact schedule so the replay harness can
+        reconstruct it with :meth:`from_jsonable` and re-fly the trial
+        bit-for-bit.
+        """
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Sequence[Dict[str, Any]]) -> "FaultSchedule":
+        return cls(events=[FaultEvent.from_dict(item) for item in data])
 
     def __len__(self) -> int:
         return len(self.events)

@@ -7,8 +7,9 @@ records a 915 MHz downlink would carry, plus mission-level summaries.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Deque, Dict, Optional
 
 import numpy as np
 
@@ -57,13 +58,24 @@ class TelemetryRecord:
 
 
 class TelemetryLog:
-    """Accumulates downlink records from simulator samples."""
+    """Accumulates downlink records from simulator samples.
 
-    def __init__(self, downlink_rate_hz: float = 4.0):
+    ``maxlen`` bounds the log as a ring buffer keeping the newest records —
+    the black-box discipline long chaos campaigns need so memory stays flat
+    no matter how many hours of flight are ingested.  ``None`` (the default)
+    keeps every record, matching the original unbounded behaviour.
+    """
+
+    def __init__(
+        self, downlink_rate_hz: float = 4.0, maxlen: Optional[int] = None
+    ):
         if downlink_rate_hz <= 0:
             raise ValueError(f"downlink rate must be positive: {downlink_rate_hz}")
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive when set: {maxlen}")
         self.downlink_rate_hz = downlink_rate_hz
-        self.records: List[TelemetryRecord] = []
+        self.maxlen = maxlen
+        self.records: Deque[TelemetryRecord] = deque(maxlen=maxlen)
         self._next_due_s = 0.0
 
     def ingest(self, sample: SimSample) -> bool:

@@ -171,6 +171,32 @@ class TestAutopilot:
                 break
         assert autopilot.mission_complete
 
+    def test_mission_progress_fraction(self):
+        autopilot = make_autopilot()
+        # no mission uploaded: progress is defined and zero
+        assert autopilot.mission_progress == 0.0
+        autopilot.arm()
+        autopilot.takeoff(4.0)
+        for _ in range(50):
+            autopilot.update(0.1)
+        autopilot.upload_mission([
+            MissionItem(np.array([3.0, 0.0, 4.0])),
+            MissionItem(np.array([3.0, 3.0, 4.0])),
+        ])
+        assert autopilot.mission_progress == 0.0
+        autopilot.set_mode(FlightMode.AUTO)
+        seen = [autopilot.mission_progress]
+        for _ in range(250):
+            autopilot.update(0.1)
+            seen.append(autopilot.mission_progress)
+            if autopilot.mission_complete:
+                break
+        # progress climbs monotonically through 0.5 to 1.0 and saturates
+        assert autopilot.mission_progress == 1.0
+        assert 0.5 in seen
+        assert all(b >= a for a, b in zip(seen, seen[1:]))
+        assert max(seen) <= 1.0
+
     def test_command_long_over_link(self):
         autopilot = make_autopilot()
         autopilot.link.send(

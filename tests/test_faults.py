@@ -26,6 +26,8 @@ from repro.autopilot.mavlink import (
 )
 from repro.autopilot.offload import OffboardComputeNode, PoseStalenessWatchdog
 from repro.faults import (
+    CrashEnvelope,
+    DEFAULT_CRASH_ENVELOPE,
     FaultEvent,
     FaultInjector,
     FaultKind,
@@ -107,6 +109,135 @@ class TestFaultSchedule:
         assert not schedule.offload_blocked(4.9)
         assert schedule.offload_blocked(6.0)
         assert not schedule.offload_blocked(8.0)
+
+
+class TestFaultScheduleEdgeCases:
+    def test_overlapping_windows_are_all_active(self):
+        schedule = (
+            FaultSchedule()
+            .add(FaultKind.GPS_LOSS, start_s=2.0, end_s=10.0)
+            .add(FaultKind.GPS_LOSS, start_s=5.0, end_s=7.0)
+            .add(FaultKind.BATTERY_SAG, start_s=6.0, end_s=12.0)
+        )
+        assert len(schedule.active(6.5)) == 3
+        assert schedule.windows(FaultKind.GPS_LOSS) == ((2.0, 10.0), (5.0, 7.0))
+        # overlap ends are honoured per event, not merged
+        assert [e.kind for e in schedule.active(8.0)] == [
+            FaultKind.GPS_LOSS, FaultKind.BATTERY_SAG,
+        ]
+
+    def test_windows_preserve_infinite_end(self):
+        schedule = FaultSchedule().add(FaultKind.LINK_BLACKOUT, start_s=4.0)
+        assert schedule.windows(FaultKind.LINK_BLACKOUT) == ((4.0, math.inf),)
+        assert schedule.active(1e9)
+        assert schedule.windows(FaultKind.GPS_LOSS) == ()
+
+    def test_compose_ordering_is_stable(self):
+        a = (
+            FaultSchedule()
+            .add(FaultKind.LINK_BLACKOUT, start_s=3.0, end_s=6.0)
+            .add(FaultKind.GPS_LOSS, start_s=3.0, end_s=6.0)
+        )
+        b = FaultSchedule().add(FaultKind.BARO_FREEZE, start_s=1.0, end_s=2.0)
+        forward = a.compose(b)
+        backward = b.compose(a)
+        # composition is order-independent: events sort by (start, kind)
+        assert forward.events == backward.events
+        assert [e.kind for e in forward.events] == [
+            FaultKind.BARO_FREEZE, FaultKind.GPS_LOSS, FaultKind.LINK_BLACKOUT,
+        ]
+        # and the operands are untouched
+        assert len(a) == 2 and len(b) == 1
+
+    def test_empty_schedule_queries(self):
+        schedule = FaultSchedule()
+        assert schedule.first_fault_s == math.inf
+        assert schedule.active(0.0) == []
+        assert schedule.windows(FaultKind.GPS_LOSS) == ()
+        assert not schedule.offload_blocked(0.0)
+        assert len(schedule) == 0
+
+    def test_jsonable_roundtrip_preserves_params_and_inf(self):
+        import json
+
+        schedule = (
+            FaultSchedule()
+            .add(FaultKind.MOTOR_DEGRADATION, start_s=2.0, end_s=9.0,
+                 health=0.6, motor_index=1)
+            .add(FaultKind.LINK_BLACKOUT, start_s=5.0)
+        )
+        restored = FaultSchedule.from_jsonable(
+            json.loads(json.dumps(schedule.to_jsonable()))
+        )
+        assert restored.events == schedule.events
+        assert restored.events[1].end_s == math.inf
+        assert restored.events[0].param_dict == {
+            "health": 0.6, "motor_index": 1.0,
+        }
+
+
+# -- crash envelope -------------------------------------------------------------
+
+
+class TestCrashEnvelope:
+    def set_roll(self, sim, roll_rad: float) -> None:
+        sim.body.state.quaternion[:] = [
+            math.cos(roll_rad / 2.0), math.sin(roll_rad / 2.0), 0.0, 0.0,
+        ]
+
+    def test_nominal_hover_is_not_a_crash(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = 4.0
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) is None
+
+    def test_tilt_beyond_limit(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = 4.0
+        self.set_roll(sim, math.radians(80.0))
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) == "loss of control (tilt)"
+
+    def test_ground_impact(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = -0.5
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) == "ground impact"
+
+    def test_hard_landing_requires_speed_and_proximity(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = 0.1
+        sim.body.state.velocity_m_s[2] = -4.0
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) == "hard landing"
+        # same descent speed higher up is flight, not touchdown
+        sim.body.state.position_m[2] = 2.0
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) is None
+
+    def test_depletion_in_flight(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = 3.0
+        sim.depleted = True
+        assert (
+            DEFAULT_CRASH_ENVELOPE.crash_reason(sim)
+            == "battery depleted in flight"
+        )
+        # a dead pack on the ground is a landing, not a crash
+        sim.body.state.position_m[2] = 0.0
+        sim.body.state.velocity_m_s[2] = 0.0
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) is None
+
+    def test_custom_envelope_moves_the_limits(self):
+        sim = make_autopilot().sim
+        sim.body.state.position_m[2] = 4.0
+        self.set_roll(sim, math.radians(50.0))
+        assert DEFAULT_CRASH_ENVELOPE.crash_reason(sim) is None
+        tight = CrashEnvelope(tilt_limit_rad=math.radians(40.0))
+        assert tight.crash_reason(sim) == "loss of control (tilt)"
+
+    def test_envelope_validation(self):
+        with pytest.raises(ValueError):
+            CrashEnvelope(tilt_limit_rad=0.0)
+        with pytest.raises(ValueError):
+            CrashEnvelope(hard_landing_speed_m_s=-1.0)
+        with pytest.raises(ValueError):
+            CrashEnvelope(touchdown_altitude_m=-0.5, impact_altitude_m=-0.3)
 
 
 # -- burst-loss channel ------------------------------------------------------------

@@ -248,3 +248,26 @@ class TestTelemetry:
     def test_empty_log_summary_raises(self):
         with pytest.raises(ValueError):
             TelemetryLog().summary()
+
+    def test_maxlen_bounds_the_ring_buffer(self):
+        sim = FlightSimulator(model_450(), physics_rate_hz=400.0)
+        sim.goto([0, 0, 3.0])
+        sim.run_for(5.0)
+        unbounded = TelemetryLog(downlink_rate_hz=4.0)
+        bounded = TelemetryLog(downlink_rate_hz=4.0, maxlen=5)
+        sent_unbounded = unbounded.ingest_all(sim)
+        sent_bounded = bounded.ingest_all(sim)
+        # the downlink accepts the same traffic; only retention differs
+        assert sent_bounded == sent_unbounded
+        assert len(bounded.records) == 5
+        assert len(unbounded.records) == sent_unbounded
+        # the ring keeps the newest records, so summaries still work
+        newest = list(unbounded.records)[-5:]
+        assert [r.time_s for r in bounded.records] == [
+            r.time_s for r in newest
+        ]
+        assert bounded.summary()["final_soc"] == unbounded.summary()["final_soc"]
+
+    def test_maxlen_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryLog(maxlen=0)
