@@ -27,12 +27,44 @@ package checks them mechanically with four AST-based passes:
     Dataclasses used as shared configuration must be ``frozen=True`` or
     explicitly registered as mutable state with ``@mutable_state``.
 
+Four *interprocedural* passes share a project-wide symbol table and call
+graph (:mod:`repro.analysis.graph`) and a small flow framework
+(:mod:`repro.analysis.flow`):
+
+``inter-units``
+    Unit inference across assignments, returns, and call bindings —
+    ``thrust_n = hover_power_w(...)`` is flagged even though the mismatch
+    is only visible through the callee's summary.
+
+``rng-taint``
+    Generators feeding ``repro.chaos``/``repro.faults`` must derive from
+    an explicit seed parameter; unseeded, literal-seeded, and
+    clock-seeded constructions are flagged.
+
+``purity``
+    ``@pure`` functions (chaos ``run_trial``, the Eq. 1-7 evaluators, the
+    batch engine) must not transitively write globals, mutate arguments,
+    or touch ambient state.  ``@memoized_pure`` exempts input-keyed
+    caches.
+
+``hotpath-escape``
+    The hot-path body rules, extended over the transitive call closure of
+    every ``@hot_path`` root.
+
 Run it with ``python -m repro.analysis src/``.  Suppress a finding on one
-line with ``# lint: ignore[rule-id]`` (plus a justification).
+line with ``# repro: ignore[rule-id]`` (plus a justification; the older
+``# lint:`` spelling still works).  CI gates on *new* findings only, via
+``--baseline analysis-baseline.json``.
 """
 
 from repro.analysis.base import Violation, SourceFile, ALL_RULES
-from repro.analysis.markers import hot_path, hot_path_safe, mutable_state
+from repro.analysis.markers import (
+    hot_path,
+    hot_path_safe,
+    memoized_pure,
+    mutable_state,
+    pure,
+)
 from repro.analysis.runner import analyze_paths, analyze_sources, format_human, format_json
 
 __all__ = [
@@ -41,6 +73,8 @@ __all__ = [
     "ALL_RULES",
     "hot_path",
     "hot_path_safe",
+    "pure",
+    "memoized_pure",
     "mutable_state",
     "analyze_paths",
     "analyze_sources",

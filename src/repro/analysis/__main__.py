@@ -1,7 +1,9 @@
 """CLI: ``python -m repro.analysis [paths...]``.
 
 Exit status is 0 when clean, 1 when violations are found, 2 on usage
-errors — the same contract CI relies on.
+errors — the same contract CI relies on.  With ``--baseline FILE`` only
+*new* violations (not fingerprinted in the file) are fatal;
+``--update-baseline`` rewrites the file from the current run and exits 0.
 """
 
 from __future__ import annotations
@@ -10,9 +12,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import cache as cache_mod
 from repro.analysis.base import ALL_RULES
 from repro.analysis.runner import (
     analyze_paths,
+    discover,
     format_human,
     format_json,
     list_rules,
@@ -22,7 +27,11 @@ from repro.analysis.runner import (
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="AST lint suite: units, determinism, hot-path, config immutability.",
+        description=(
+            "AST lint suite: units, determinism, hot-path, config "
+            "immutability, plus the interprocedural passes (inter-units, "
+            "rng-taint, purity, hotpath-escape)."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -40,11 +49,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="gate only on violations not fingerprinted in FILE",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the full JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="reuse results from FILE when no analyzed file changed",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(list_rules())
         return 0
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
     rules: Optional[List[str]] = None
     if args.rules:
@@ -55,10 +87,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     try:
-        violations = analyze_paths(args.paths, rules=rules)
+        violations = None
+        cache_key = None
+        if args.cache:
+            cache_key = cache_mod.run_key(discover(args.paths), rules)
+            violations = cache_mod.load(args.cache, cache_key)
+        if violations is None:
+            violations = analyze_paths(args.paths, rules=rules)
+            if args.cache and cache_key is not None:
+                cache_mod.store(args.cache, cache_key, violations)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(format_json(violations))
+
+    if args.update_baseline:
+        baseline_mod.write(args.baseline, violations)
+        print(
+            f"baseline updated: {args.baseline} "
+            f"({len(violations)} accepted finding(s))"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            accepted = baseline_mod.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = baseline_mod.gate(violations, accepted)
+        print(format_json(violations) if args.json else format_human(result.new))
+        if not args.json and (result.known or result.fixed):
+            print(
+                f"baseline: {len(result.known)} accepted, "
+                f"{result.fixed} fixed (safe to --update-baseline)"
+            )
+        return 1 if result.new else 0
 
     print(format_json(violations) if args.json else format_human(violations))
     return 1 if violations else 0

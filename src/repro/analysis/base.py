@@ -21,10 +21,16 @@ ALL_RULES: Dict[str, str] = {
     "hot-log": "eager logging/printing inside a @hot_path function",
     "hot-callee": "@hot_path function calls an unmarked, non-whitelisted callee",
     "config-mutable": "config-shaped dataclass is neither frozen nor @mutable_state",
+    "inter-units": "unit mismatch across assignments, returns, or call bindings",
+    "rng-taint": "randomness in chaos/faults does not derive from a seed parameter",
+    "purity": "@pure function transitively mutates arguments, globals, or ambient state",
+    "hotpath-escape": "hot-path violation in a callee transitively reachable from @hot_path",
 }
 
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([a-z0-9_\-,\s]+)\])?")
-_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file")
+#: Both comment dialects are honored: ``# lint: ignore[rule]`` (PR 2) and
+#: ``# repro: ignore[rule]`` (the baseline-era spelling).
+_SUPPRESS_RE = re.compile(r"#\s*(?:lint|repro):\s*ignore(?:\[([a-z0-9_\-,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*(?:lint|repro):\s*skip-file")
 
 
 @dataclass(frozen=True)
@@ -112,13 +118,19 @@ class Checker:
 
     Subclasses override :meth:`check`, which sees the *whole* file set so
     cross-file passes (hot-path callee resolution) fit the same interface
-    as purely local ones.
+    as purely local ones.  The runner builds one shared
+    :class:`~repro.analysis.graph.Program` (symbol table + call graph) per
+    run and hands it to every pass via ``program``; passes that analyze a
+    single file at a time simply ignore it, and a pass invoked standalone
+    (``program=None``) builds its own.
     """
 
     #: Rule ids this checker can emit (for --rules filtering and docs).
     rules: Sequence[str] = ()
 
-    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[object] = None
+    ) -> List[Violation]:
         raise NotImplementedError
 
     def emit(

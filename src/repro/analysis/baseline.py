@@ -1,0 +1,91 @@
+"""Baseline file: gate CI on *new* violations only.
+
+Turning a new pass on over an old tree usually surfaces pre-existing debt
+that nobody should have to fix in the same PR that adds the pass.  The
+baseline mechanism makes that incremental: a committed JSON file records
+the accepted findings as fingerprints, and the CLI (``--baseline``) exits
+nonzero only for violations not in the file.  ``--update-baseline``
+rewrites it from the current run — findings that were fixed disappear,
+so the debt can only shrink unless someone deliberately re-records it.
+
+Fingerprints are ``(rule, path, message)`` — deliberately *not* the line
+number, so unrelated edits that shift code do not resurrect accepted
+findings.  Identical findings are counted: a second
+``units-mismatch`` with the same message in the same file is new even if
+one copy is baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Violation
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(violation: Violation) -> Fingerprint:
+    return (violation.rule, violation.path, violation.message)
+
+
+@dataclass
+class GateResult:
+    """Partition of a run's findings against the committed baseline."""
+
+    #: Violations not covered by the baseline — these fail the gate.
+    new: List[Violation] = field(default_factory=list)
+    #: Violations matched by a baseline entry — reported, not fatal.
+    known: List[Violation] = field(default_factory=list)
+    #: Baseline entries no run finding matched (fixed debt).
+    fixed: int = 0
+
+
+def load(path: str) -> Counter:
+    """Read a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline (the common state for this repo:
+    the tree is kept clean, so the committed file has no entries).
+    """
+    file = Path(path)
+    if not file.exists():
+        return Counter()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {payload.get('version')!r}"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        counts[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counts
+
+
+def gate(violations: Sequence[Violation], baseline: Counter) -> GateResult:
+    """Split ``violations`` into new vs. baselined, counting fixed debt."""
+    remaining = Counter(baseline)
+    result = GateResult()
+    for violation in violations:
+        key = fingerprint(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.known.append(violation)
+        else:
+            result.new.append(violation)
+    result.fixed = sum(remaining.values())
+    return result
+
+
+def write(path: str, violations: Sequence[Violation]) -> None:
+    """Record the current findings as the accepted baseline."""
+    entries: List[Dict[str, str]] = [
+        {"rule": rule, "path": vpath, "message": message}
+        for rule, vpath, message in sorted(fingerprint(v) for v in violations)
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

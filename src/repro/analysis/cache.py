@@ -1,0 +1,74 @@
+"""Result cache keyed on the exact analyzed inputs.
+
+The interprocedural passes are whole-program — one edited file can change
+call edges anywhere — so the cache is all-or-nothing rather than
+per-file: the key digests every analyzed file's (path, mtime, size,
+content hash) plus the rule selection and a schema version.  Any touch
+anywhere misses; an untouched tree (the common CI re-run case, and
+repeated local invocations) returns the stored findings without parsing
+a single module.
+
+The cache file is opt-in (``--cache PATH``) and holds exactly one entry;
+stale results can survive at most one key's worth of history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import Violation
+
+_VERSION = 1
+
+
+def run_key(files: Sequence[str], rules: Optional[Sequence[str]]) -> str:
+    """Digest of everything that can change this run's output."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={_VERSION}".encode())
+    digest.update(f"rules={','.join(sorted(rules)) if rules else '*'}".encode())
+    for path in sorted(files):
+        file = Path(path)
+        stat = file.stat()
+        content_hash = hashlib.sha256(file.read_bytes()).hexdigest()
+        digest.update(
+            f"{path}|{stat.st_mtime_ns}|{stat.st_size}|{content_hash}".encode()
+        )
+    return digest.hexdigest()
+
+
+def load(cache_path: str, key: str) -> Optional[List[Violation]]:
+    """Stored findings for ``key``, or None on miss/corruption."""
+    file = Path(cache_path)
+    if not file.exists():
+        return None
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("version") != _VERSION or payload.get("key") != key:
+        return None
+    try:
+        return [
+            Violation(
+                rule=entry["rule"],
+                path=entry["path"],
+                line=entry["line"],
+                col=entry["col"],
+                message=entry["message"],
+            )
+            for entry in payload["violations"]
+        ]
+    except (KeyError, TypeError):
+        return None
+
+
+def store(cache_path: str, key: str, violations: Sequence[Violation]) -> None:
+    payload = {
+        "version": _VERSION,
+        "key": key,
+        "violations": [v.as_dict() for v in violations],
+    }
+    Path(cache_path).write_text(json.dumps(payload, indent=2), encoding="utf-8")

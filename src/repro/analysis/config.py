@@ -36,7 +36,9 @@ class ConfigChecker(Checker):
 
     rules = ("config-mutable",)
 
-    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[object] = None
+    ) -> List[Violation]:
         out: List[Violation] = []
         for src in files:
             for node in ast.walk(src.tree):

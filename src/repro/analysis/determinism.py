@@ -15,7 +15,7 @@ things silently break that promise:
 from __future__ import annotations
 
 import ast
-from typing import List, Sequence, Set
+from typing import Optional, List, Sequence, Set
 
 from repro.analysis.base import Checker, SourceFile, Violation
 
@@ -55,7 +55,9 @@ class DeterminismChecker(Checker):
 
     rules = ("det-global-rng", "det-wallclock", "det-set-order")
 
-    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[object] = None
+    ) -> List[Violation]:
         out: List[Violation] = []
         for src in files:
             random_aliases = _stdlib_random_aliases(src.tree)

@@ -1,0 +1,111 @@
+"""Hot-path escape analysis: body rules over the transitive call closure.
+
+``hot-callee`` (in :mod:`repro.analysis.hotpath`) polices the *edge*: a
+``@hot_path`` function may only call marked functions.  But an unmarked
+callee's body is otherwise never scanned — a comprehension two calls below
+the control loop costs exactly as much as one in it.  This pass closes
+that hole: starting from every ``@hot_path`` root it walks the resolved
+call graph (breadth-first, skipping ``@hot_path_safe`` subtrees and
+constructor edges, honoring the ``raise``/``assert`` exemptions) and runs
+the shared :class:`~repro.analysis.hotpath.HotBodyScanner` over each
+*unmarked* function it reaches.  Findings are reported as
+``hotpath-escape`` at the hazard in the callee's file, with the hot root
+and the call chain in the message so the fix site is obvious.
+
+Marked callees are skipped — ``@hot_path`` bodies are already checked
+directly, and ``@hot_path_safe`` means "intentionally off the fast path".
+Each function is reported once even when reachable from several roots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Checker, SourceFile, Violation
+from repro.analysis.graph import FunctionInfo, Program
+from repro.analysis.hotpath import HotBodyScanner
+
+#: Safety valve: real call graphs here are tiny, but a bound keeps a
+#: pathological input from turning the BFS quadratic.
+_MAX_DEPTH = 12
+
+
+class EscapeChecker(Checker):
+    """Scan unmarked functions reachable from ``@hot_path`` roots."""
+
+    rules = ("hotpath-escape",)
+
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[Program] = None
+    ) -> List[Violation]:
+        if program is None:
+            program = Program.build(files)
+        scanners: Dict[str, HotBodyScanner] = {}
+        reported: Set[str] = set()
+        out: List[Violation] = []
+        for root in program.functions():
+            if root.hot:
+                self._walk(out, program, root, scanners, reported)
+        return out
+
+    def _walk(
+        self,
+        out: List[Violation],
+        program: Program,
+        root: FunctionInfo,
+        scanners: Dict[str, HotBodyScanner],
+        reported: Set[str],
+    ) -> None:
+        queue: List[Tuple[FunctionInfo, Tuple[str, ...], int]] = [(root, (), 0)]
+        visited: Set[str] = {root.qualname}
+        while queue:
+            fn, chain, depth = queue.pop(0)
+            if depth >= _MAX_DEPTH:
+                continue
+            scanner = self._scanner(scanners, fn)
+            for site in program.call_sites(fn):
+                if site.kind == "constructor":
+                    continue
+                if id(site.call) not in scanner.eligible_calls:
+                    continue
+                callee = site.callee
+                if callee.safe or callee.qualname in visited:
+                    continue
+                visited.add(callee.qualname)
+                if callee.hot:
+                    continue  # a hot callee is a root of its own walk
+                next_chain = chain + (callee.qualname,)
+                if callee.qualname not in reported:
+                    reported.add(callee.qualname)
+                    self._report(out, root, callee, next_chain, scanners)
+                queue.append((callee, next_chain, depth + 1))
+
+    def _report(
+        self,
+        out: List[Violation],
+        root: FunctionInfo,
+        callee: FunctionInfo,
+        chain: Tuple[str, ...],
+        scanners: Dict[str, HotBodyScanner],
+    ) -> None:
+        via = " -> ".join(chain)
+        for issue in self._scanner(scanners, callee).issues:
+            self.emit(
+                out,
+                callee.src,
+                "hotpath-escape",
+                issue.node,
+                f"{issue.message} — reachable from @hot_path "
+                f"{root.qualname} via {via}",
+            )
+
+    @staticmethod
+    def _scanner(
+        scanners: Dict[str, HotBodyScanner], fn: FunctionInfo
+    ) -> HotBodyScanner:
+        scanner = scanners.get(fn.qualname)
+        if scanner is None:
+            scanner = HotBodyScanner().scan(fn.node)
+            scanners[fn.qualname] = scanner
+        return scanner

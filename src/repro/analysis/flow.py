@@ -1,0 +1,186 @@
+"""A small flow framework for the interprocedural passes.
+
+Three pieces, all deliberately modest:
+
+:class:`LocalFlow`
+    Forward propagation of per-name abstract facts through one function
+    body in source order.  A pass supplies ``eval_expr(expr, env)``; the
+    framework threads the environment through assignments, visits nested
+    blocks (``if``/``for``/``while``/``with``/``try``) sequentially, and
+    records the fact reaching every ``return``.  There is no real CFG —
+    later facts simply overwrite earlier ones — which over-approximates
+    loops and branches but is exactly the fidelity a lint needs.
+
+:func:`bind_call_args`
+    Map a call's arguments onto the callee's declared parameter names
+    (positional and keyword).  ``*args``/``**kwargs`` at the call site are
+    skipped — those bindings are unknowable statically.
+
+:func:`fixpoint_summaries`
+    Drive per-function summary computation to a fixed point over the call
+    graph.  Summaries must be comparable values; the driver iterates until
+    nothing changes (or a round bound trips, which truncates — never
+    diverges).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.analysis.graph import FunctionInfo
+
+Fact = TypeVar("Fact")
+Summary = TypeVar("Summary")
+
+#: An expression evaluator: (expr, env) -> abstract fact or None (unknown).
+Evaluator = Callable[[ast.expr, Dict[str, Fact]], Optional[Fact]]
+
+
+@dataclass
+class FlowResult(Generic[Fact]):
+    """What :meth:`LocalFlow.run` observed in one function body."""
+
+    #: Final environment after the (linearized) body.
+    env: Dict[str, Fact] = field(default_factory=dict)
+    #: Each ``return expr`` with the fact of its value (None for bare return).
+    returns: List[Tuple[ast.Return, Optional[Fact]]] = field(default_factory=list)
+    #: Each single-name assignment: (name, target/value node, value fact).
+    assigns: List[Tuple[str, ast.stmt, Optional[Fact]]] = field(default_factory=list)
+
+
+class LocalFlow(Generic[Fact]):
+    """Propagate per-name facts through a function body in source order."""
+
+    def __init__(self, eval_expr: Evaluator[Fact]) -> None:
+        self.eval_expr = eval_expr
+
+    def run(
+        self,
+        fn_node: ast.FunctionDef,
+        init_env: Optional[Dict[str, Fact]] = None,
+    ) -> FlowResult[Fact]:
+        result: FlowResult[Fact] = FlowResult(env=dict(init_env or {}))
+        self._block(fn_node.body, result)
+        return result
+
+    def _block(self, stmts: Sequence[ast.stmt], result: FlowResult[Fact]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, result)
+
+    def _stmt(self, stmt: ast.stmt, result: FlowResult[Fact]) -> None:
+        env = result.env
+        if isinstance(stmt, ast.Assign):
+            fact = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    result.assigns.append((target.id, stmt, fact))
+                    self._set(env, target.id, fact)
+                else:
+                    for name in _target_names(target):
+                        env.pop(name, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                if stmt.value is not None:
+                    fact = self._eval(stmt.value, env)
+                    result.assigns.append((stmt.target.id, stmt, fact))
+                    self._set(env, stmt.target.id, fact)
+        elif isinstance(stmt, ast.AugAssign):
+            # ``x += y`` keeps x's fact family; do not re-evaluate.
+            pass
+        elif isinstance(stmt, ast.Return):
+            fact = self._eval(stmt.value, env) if stmt.value is not None else None
+            result.returns.append((stmt, fact))
+        elif isinstance(stmt, ast.If):
+            self._block(stmt.body, result)
+            self._block(stmt.orelse, result)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name in _target_names(stmt.target):
+                result.env.pop(name, None)
+            self._block(stmt.body, result)
+            self._block(stmt.orelse, result)
+        elif isinstance(stmt, (ast.While,)):
+            self._block(stmt.body, result)
+            self._block(stmt.orelse, result)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        result.env.pop(name, None)
+            self._block(stmt.body, result)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body, result)
+            for handler in stmt.handlers:
+                self._block(handler.body, result)
+            self._block(stmt.orelse, result)
+            self._block(stmt.finalbody, result)
+        # Nested function/class definitions run on their own schedule — the
+        # facts inside them are not this body's facts.
+
+    def _eval(self, expr: ast.expr, env: Dict[str, Fact]) -> Optional[Fact]:
+        return self.eval_expr(expr, env)
+
+    @staticmethod
+    def _set(env: Dict[str, Fact], name: str, fact: Optional[Fact]) -> None:
+        if fact is None:
+            env.pop(name, None)
+        else:
+            env[name] = fact
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def bind_call_args(
+    callee: FunctionInfo, call: ast.Call, drop_receiver: bool
+) -> Dict[str, ast.expr]:
+    """Map ``call``'s arguments onto ``callee``'s parameter names.
+
+    ``drop_receiver`` skips the first declared parameter (``self``) for
+    method and constructor calls, where the receiver is not in the
+    argument list.  Starred arguments are unmappable and skipped.
+    """
+    params = callee.params
+    if drop_receiver and params:
+        params = params[1:]
+    bound: Dict[str, ast.expr] = {}
+    positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+    for name, arg in zip(params, positional):
+        bound[name] = arg
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            bound[keyword.arg] = keyword.value
+    return bound
+
+
+def fixpoint_summaries(
+    functions: Sequence[FunctionInfo],
+    compute: Callable[[FunctionInfo, Dict[str, Summary]], Summary],
+    max_rounds: int = 12,
+) -> Dict[str, Summary]:
+    """Iterate ``compute`` over every function until summaries stabilize.
+
+    ``compute(fn, summaries)`` sees the previous round's summaries (keyed
+    by qualname) and returns the new one; recursion converges because the
+    round bound truncates non-monotone oscillation.
+    """
+    summaries: Dict[str, Summary] = {}
+    for _ in range(max_rounds):
+        changed = False
+        for fn in functions:
+            new = compute(fn, summaries)
+            if summaries.get(fn.qualname) != new:
+                summaries[fn.qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries

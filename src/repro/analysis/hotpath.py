@@ -10,30 +10,33 @@ style nit.  Functions decorated ``@hot_path`` (see
 * ``hot-format``  — no f-strings, ``"...".format(...)``, or ``"..." %``;
 * ``hot-log``     — no ``print`` or ``logging``-style calls —
 
-and one call-graph rule, ``hot-callee``: every call the analyzer can
-resolve to a function *defined in the analyzed file set* must itself be
-``@hot_path`` or ``@hot_path_safe``.  Resolution covers bare names (local
-or ``from x import y``), ``self.method()``, and attribute chains typed via
-dataclass field annotations or ``self.x = ClassName(...)`` assignments
-(``self.mixer.mix(...)`` resolves through ``mixer: MotorMixer``).
-Unresolvable receivers — locals, subscripts, numpy objects — are skipped,
-so the rule under-approximates rather than cries wolf.
+and one call-graph rule, ``hot-callee``: every call the
+:class:`~repro.analysis.graph.Program` can resolve to a function *defined
+in the analyzed file set* must itself be ``@hot_path`` or
+``@hot_path_safe``.  Resolution (shared with every interprocedural pass)
+covers bare names, ``self.attr.method()`` chains, typed locals, and
+module-attribute calls; unresolvable receivers are skipped, so the rule
+under-approximates rather than cries wolf.  Constructor calls are exempt
+here — allocation cost is ``hot-alloc``'s business, and ``__init__``
+bodies run once at build time in this codebase.
 
 Code inside ``raise`` and ``assert`` statements is exempt from the body
 rules: an abort is already off the hot path, and forbidding f-strings in
 error messages would only make the errors worse.
+
+:class:`HotBodyScanner` is the reusable half: the escape pass
+(:mod:`repro.analysis.escape`) runs the same scanner over every *unmarked*
+function transitively reachable from a hot root.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
 
-from repro.analysis.base import Checker, SourceFile, Violation, decorator_name
-
-_HOT_DECORATORS = {"hot_path"}
-_SAFE_DECORATORS = {"hot_path_safe"}
+from repro.analysis.base import Checker, SourceFile, Violation
+from repro.analysis.graph import Program, attribute_chain
 
 _IO_BARE = {"open"}
 _IO_METHODS = {"open", "read_text", "write_text", "read_bytes", "write_bytes"}
@@ -41,167 +44,32 @@ _LOG_METHODS = {"debug", "info", "warning", "warn", "error", "critical", "except
 
 
 @dataclass
-class FunctionInfo:
-    """One function or method definition in the analyzed set."""
+class BodyIssue:
+    """One hot-path hazard found in a function body."""
 
-    node: ast.FunctionDef
-    module: str
-    cls: Optional[str]
-    hot: bool
-    safe: bool
-
-    @property
-    def qualname(self) -> str:
-        if self.cls:
-            return f"{self.module}:{self.cls}.{self.node.name}"
-        return f"{self.module}:{self.node.name}"
+    #: "alloc", "io", "format", or "log" (rule id minus the pass prefix).
+    kind: str
+    node: ast.AST
+    message: str
 
 
-@dataclass
-class ClassInfo:
-    module: str
-    name: str
-    bases: List[str] = field(default_factory=list)
-    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
-    #: attribute name -> type name, from field annotations / __init__ assigns.
-    attr_types: Dict[str, str] = field(default_factory=dict)
+class HotBodyScanner(ast.NodeVisitor):
+    """Collect hot-path body hazards and the calls eligible for edge rules.
 
-
-@dataclass
-class ModuleInfo:
-    name: str
-    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
-    classes: Dict[str, ClassInfo] = field(default_factory=dict)
-    #: ``from x import y as z`` -> {"z": ("x", "y")}
-    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
-
-
-class _Program:
-    """Symbol table over every analyzed file, for callee resolution."""
+    ``issues`` holds every alloc/io/format/log hazard; ``eligible_calls``
+    holds ``id()`` of each Call node that is *not* on an exempt path
+    (inside ``raise``/``assert``/nested defs) and was not itself flagged —
+    the callee rules (``hot-callee``, the escape BFS) only consider those.
+    """
 
     def __init__(self) -> None:
-        self.modules: Dict[str, ModuleInfo] = {}
+        self.issues: List[BodyIssue] = []
+        self.eligible_calls: Set[int] = set()
 
-    def add_file(self, src: SourceFile) -> ModuleInfo:
-        info = ModuleInfo(name=src.module)
-        for node in src.tree.body:  # type: ignore[attr-defined]
-            if isinstance(node, ast.FunctionDef):
-                info.functions[node.name] = _function_info(node, src.module, None)
-            elif isinstance(node, ast.ClassDef):
-                info.classes[node.name] = _class_info(node, src.module)
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    info.imports[alias.asname or alias.name] = (
-                        node.module,
-                        alias.name,
-                    )
-        self.modules[src.module] = info
-        return info
-
-    def resolve_class(self, module: str, name: str) -> Optional[ClassInfo]:
-        info = self.modules.get(module)
-        if info is None:
-            return None
-        if name in info.classes:
-            return info.classes[name]
-        target = info.imports.get(name)
-        if target is not None:
-            target_module, symbol = target
-            target_info = self.modules.get(target_module)
-            if target_info is not None:
-                return target_info.classes.get(symbol)
-        return None
-
-    def resolve_function(self, module: str, name: str) -> Optional[FunctionInfo]:
-        info = self.modules.get(module)
-        if info is None:
-            return None
-        if name in info.functions:
-            return info.functions[name]
-        target = info.imports.get(name)
-        if target is not None:
-            target_module, symbol = target
-            target_info = self.modules.get(target_module)
-            if target_info is not None:
-                return target_info.functions.get(symbol)
-        return None
-
-    def method_on(
-        self, cls: ClassInfo, name: str, _seen: Optional[Set[str]] = None
-    ) -> Optional[FunctionInfo]:
-        """Look ``name`` up on ``cls`` and its resolvable base classes."""
-        seen = _seen or set()
-        key = f"{cls.module}:{cls.name}"
-        if key in seen:
-            return None
-        seen.add(key)
-        if name in cls.methods:
-            return cls.methods[name]
-        for base in cls.bases:
-            base_cls = self.resolve_class(cls.module, base)
-            if base_cls is not None:
-                found = self.method_on(base_cls, name, seen)
-                if found is not None:
-                    return found
-        return None
-
-
-class HotPathChecker(Checker):
-    """Check every ``@hot_path`` function body and its resolvable callees."""
-
-    rules = ("hot-alloc", "hot-io", "hot-format", "hot-log", "hot-callee")
-
-    #: Extra qualnames allowed as callees without markers (escape hatch for
-    #: generated or vendored code; prefer @hot_path_safe in first-party code).
-    extra_safe: Set[str] = set()
-
-    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
-        program = _Program()
-        for src in files:
-            program.add_file(src)
-        out: List[Violation] = []
-        for src in files:
-            module = program.modules[src.module]
-            for fn in module.functions.values():
-                if fn.hot:
-                    self._check_body(out, src, program, fn, None)
-            for cls in module.classes.values():
-                for fn in cls.methods.values():
-                    if fn.hot:
-                        self._check_body(out, src, program, fn, cls)
-        return out
-
-    def _check_body(
-        self,
-        out: List[Violation],
-        src: SourceFile,
-        program: _Program,
-        fn: FunctionInfo,
-        cls: Optional[ClassInfo],
-    ) -> None:
-        visitor = _HotBodyVisitor(self, out, src, program, fn, cls)
-        for stmt in fn.node.body:
-            visitor.visit(stmt)
-
-
-class _HotBodyVisitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        checker: HotPathChecker,
-        out: List[Violation],
-        src: SourceFile,
-        program: _Program,
-        fn: FunctionInfo,
-        cls: Optional[ClassInfo],
-    ) -> None:
-        self.checker = checker
-        self.out = out
-        self.src = src
-        self.program = program
-        self.fn = fn
-        self.cls = cls
-        args = fn.node.args
-        self.self_name = args.args[0].arg if (cls is not None and args.args) else None
+    def scan(self, fn_node: ast.FunctionDef) -> "HotBodyScanner":
+        for stmt in fn_node.body:
+            self.visit(stmt)
+        return self
 
     # -- exemptions ---------------------------------------------------------
 
@@ -218,184 +86,112 @@ class _HotBodyVisitor(ast.NodeVisitor):
 
     # -- body rules ---------------------------------------------------------
 
-    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
-        self.checker.emit(
-            self.out, self.src, rule, node, f"in @hot_path {self.fn.qualname}: {message}"
-        )
+    def _issue(self, kind: str, node: ast.AST, message: str) -> None:
+        self.issues.append(BodyIssue(kind=kind, node=node, message=message))
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._flag("hot-alloc", node, "list comprehension allocates per call")
+        self._issue("alloc", node, "list comprehension allocates per call")
         self.generic_visit(node)
 
     def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._flag("hot-alloc", node, "set comprehension allocates per call")
+        self._issue("alloc", node, "set comprehension allocates per call")
         self.generic_visit(node)
 
     def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._flag("hot-alloc", node, "dict comprehension allocates per call")
+        self._issue("alloc", node, "dict comprehension allocates per call")
         self.generic_visit(node)
 
     def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._flag("hot-alloc", node, "generator expression allocates per call")
+        self._issue("alloc", node, "generator expression allocates per call")
         self.generic_visit(node)
 
     def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
-        self._flag("hot-format", node, "f-string formats on the hot path")
+        self._issue("format", node, "f-string formats on the hot path")
 
     def visit_BinOp(self, node: ast.BinOp) -> None:
         if isinstance(node.op, ast.Mod) and _is_str_constant(node.left):
-            self._flag("hot-format", node, "percent-formatting on the hot path")
+            self._issue("format", node, "percent-formatting on the hot path")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
-        chain = _attribute_chain(node.func)
+        chain = attribute_chain(node.func)
         if chain:
-            self._check_call(node, chain)
+            self._classify_call(node, chain)
         self.generic_visit(node)
 
-    # -- call classification ------------------------------------------------
-
-    def _check_call(self, node: ast.Call, chain: List[str]) -> None:
+    def _classify_call(self, node: ast.Call, chain: List[str]) -> None:
         tail = chain[-1]
         if len(chain) == 1:
             if tail in _IO_BARE:
-                self._flag("hot-io", node, f"{tail}() performs file I/O")
+                self._issue("io", node, f"{tail}() performs file I/O")
                 return
             if tail == "print":
-                self._flag("hot-log", node, "print() blocks on the output stream")
+                self._issue("log", node, "print() blocks on the output stream")
                 return
-            self._check_callee_bare(node, tail)
+            self.eligible_calls.add(id(node))
             return
         if tail in _IO_METHODS:
-            self._flag("hot-io", node, f".{tail}() performs file I/O")
+            self._issue("io", node, f".{tail}() performs file I/O")
             return
         if tail in _LOG_METHODS and any("log" in part.lower() for part in chain[:-1]):
-            self._flag(
-                "hot-log",
+            self._issue(
+                "log",
                 node,
                 f"{'.'.join(chain)} logs eagerly; hot loops must not log",
             )
             return
         if tail == "format" and _is_str_constant(node.func.value):  # type: ignore[attr-defined]
-            self._flag("hot-format", node, "str.format() on the hot path")
+            self._issue("format", node, "str.format() on the hot path")
             return
-        self._check_callee_chain(node, chain)
-
-    def _check_callee_bare(self, node: ast.Call, name: str) -> None:
-        fn = self.program.resolve_function(self.fn.module, name)
-        if fn is not None:
-            self._require_marked(node, fn)
-
-    def _check_callee_chain(self, node: ast.Call, chain: List[str]) -> None:
-        if self.self_name is None or chain[0] != self.self_name or self.cls is None:
-            return
-        cls: Optional[ClassInfo] = self.cls
-        for attr in chain[1:-1]:
-            if cls is None:
-                return
-            type_name = cls.attr_types.get(attr)
-            if type_name is None:
-                return
-            cls = self.program.resolve_class(cls.module, type_name)
-        if cls is None:
-            return
-        method = self.program.method_on(cls, chain[-1])
-        if method is not None:
-            self._require_marked(node, method)
-
-    def _require_marked(self, node: ast.Call, callee: FunctionInfo) -> None:
-        if callee.hot or callee.safe:
-            return
-        if callee.qualname in self.checker.extra_safe:
-            return
-        self._flag(
-            "hot-callee",
-            node,
-            f"calls {callee.qualname} which is neither @hot_path nor @hot_path_safe",
-        )
+        self.eligible_calls.add(id(node))
 
 
-def _function_info(node: ast.FunctionDef, module: str, cls: Optional[str]) -> FunctionInfo:
-    names = {decorator_name(d) for d in node.decorator_list}
-    return FunctionInfo(
-        node=node,
-        module=module,
-        cls=cls,
-        hot=bool(names & _HOT_DECORATORS),
-        safe=bool(names & _SAFE_DECORATORS),
-    )
+class HotPathChecker(Checker):
+    """Check every ``@hot_path`` function body and its resolvable callees."""
 
+    rules = ("hot-alloc", "hot-io", "hot-format", "hot-log", "hot-callee")
 
-def _class_info(node: ast.ClassDef, module: str) -> ClassInfo:
-    info = ClassInfo(module=module, name=node.name)
-    for base in node.bases:
-        if isinstance(base, ast.Name):
-            info.bases.append(base.id)
-        elif isinstance(base, ast.Attribute):
-            info.bases.append(base.attr)
-    for stmt in node.body:
-        if isinstance(stmt, ast.FunctionDef):
-            info.methods[stmt.name] = _function_info(stmt, module, node.name)
-            _harvest_self_assigns(stmt, info)
-        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-            type_name = _annotation_type_name(stmt.annotation)
-            if type_name is not None:
-                info.attr_types[stmt.target.id] = type_name
-    return info
+    #: Extra qualnames allowed as callees without markers (escape hatch for
+    #: generated or vendored code; prefer @hot_path_safe in first-party code).
+    extra_safe: Set[str] = set()
 
-
-def _harvest_self_assigns(method: ast.FunctionDef, info: ClassInfo) -> None:
-    """Record ``self.x = ClassName(...)`` attribute types from a method body."""
-    if not method.args.args:
-        return
-    self_name = method.args.args[0].arg
-    for node in ast.walk(method):
-        targets: List[ast.expr] = []
-        value: Optional[ast.expr] = None
-        if isinstance(node, ast.Assign):
-            targets, value = node.targets, node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets, value = [node.target], node.value
-        if value is None or not isinstance(value, ast.Call):
-            continue
-        callee = value.func
-        type_name: Optional[str] = None
-        if isinstance(callee, ast.Name):
-            type_name = callee.id
-        elif isinstance(callee, ast.Attribute):
-            type_name = callee.attr
-        if type_name is None or not type_name[:1].isupper():
-            continue
-        for target in targets:
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == self_name
-                and target.attr not in info.attr_types
-            ):
-                info.attr_types[target.attr] = type_name
-
-
-def _annotation_type_name(annotation: ast.expr) -> Optional[str]:
-    """Extract a plain class name from a field annotation, if unambiguous."""
-    if isinstance(annotation, ast.Name):
-        return annotation.id
-    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
-        name = annotation.value.strip()
-        return name if name.isidentifier() else None
-    return None
-
-
-def _attribute_chain(node: ast.expr) -> List[str]:
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        parts.reverse()
-        return parts
-    return []
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[Program] = None
+    ) -> List[Violation]:
+        if program is None:
+            program = Program.build(files)
+        out: List[Violation] = []
+        for fn in program.functions():
+            if not fn.hot:
+                continue
+            scanner = HotBodyScanner().scan(fn.node)
+            for issue in scanner.issues:
+                self.emit(
+                    out,
+                    fn.src,
+                    f"hot-{issue.kind}",
+                    issue.node,
+                    f"in @hot_path {fn.qualname}: {issue.message}",
+                )
+            for site in program.call_sites(fn):
+                if site.kind == "constructor":
+                    continue
+                if id(site.call) not in scanner.eligible_calls:
+                    continue
+                callee = site.callee
+                if callee.hot or callee.safe:
+                    continue
+                if callee.qualname in self.extra_safe:
+                    continue
+                self.emit(
+                    out,
+                    fn.src,
+                    "hot-callee",
+                    site.call,
+                    f"in @hot_path {fn.qualname}: calls {callee.qualname} "
+                    f"which is neither @hot_path nor @hot_path_safe",
+                )
+        return out
 
 
 def _is_str_constant(node: ast.expr) -> bool:

@@ -1,0 +1,215 @@
+"""Interprocedural unit inference.
+
+The local units pass (:mod:`repro.analysis.units`) only sees a mismatch
+when both operands of one expression carry suffixes.  This pass closes the
+gaps that span statements and modules:
+
+* **function summaries** — every function gets a return unit, inferred
+  from its returns (through local assignments and callee summaries) or
+  declared by its own name suffix, iterated to a fixed point so units
+  propagate through call chains of any depth;
+* **assignments** — ``thrust_n = hover_power_w(...)`` is flagged even
+  though the mismatch is only visible through the callee's summary, and
+  ``thrust_n = p`` is flagged when ``p`` was assigned from a ``_w``
+  expression earlier in the body;
+* **returns** — a function named ``*_w`` returning a ``_n`` value is
+  flagged at the return statement;
+* **call bindings** — positional arguments are checked against the
+  *callee's* declared parameter names (the local pass can only check
+  keywords), and keyword checks extend to values whose unit is known only
+  through the flow environment.
+
+Multiplication and division still pass (they derive new units); only
+same-dimension-preserving flows are checked, so the pass stays quiet on
+arithmetic it cannot prove wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.base import Checker, SourceFile, Violation
+from repro.analysis.flow import LocalFlow, bind_call_args, fixpoint_summaries
+from repro.analysis.graph import CallSite, FunctionInfo, Program
+from repro.analysis.units import Unit, unit_of_expr, unit_of_name
+
+
+class InterUnitsChecker(Checker):
+    """Flag unit mismatches that span assignments, returns, and calls."""
+
+    rules = ("inter-units",)
+
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[Program] = None
+    ) -> List[Violation]:
+        if program is None:
+            program = Program.build(files)
+        functions = list(program.functions())
+        summaries = fixpoint_summaries(
+            functions,
+            lambda fn, prior: self._summarize(program, fn, prior),
+            max_rounds=8,
+        )
+        out: List[Violation] = []
+        for fn in functions:
+            self._check_function(out, program, fn, summaries)
+        return out
+
+    # -- summaries -----------------------------------------------------------
+
+    def _summarize(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[Unit]],
+    ) -> Optional[Unit]:
+        declared = unit_of_name(fn.node.name)
+        if declared is not None:
+            return declared
+        result = self._flow(program, fn, summaries)
+        inferred: Optional[Unit] = None
+        for _, fact in result.returns:
+            if fact is None:
+                return None  # at least one return of unknown unit
+            if inferred is None:
+                inferred = fact
+            elif not inferred.compatible(fact):
+                return None  # conflicting returns: stay quiet
+        return inferred
+
+    def _flow(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[Unit]],
+    ):
+        sites = {id(site.call): site for site in program.call_sites(fn)}
+
+        def eval_expr(expr: ast.expr, env: Dict[str, Unit]) -> Optional[Unit]:
+            return self._eval(expr, env, sites, summaries)
+
+        init_env: Dict[str, Unit] = {}
+        for param in fn.params:
+            unit = unit_of_name(param)
+            if unit is not None:
+                init_env[param] = unit
+        return LocalFlow(eval_expr).run(fn.node, init_env)
+
+    def _eval(
+        self,
+        expr: ast.expr,
+        env: Dict[str, Unit],
+        sites: Dict[int, CallSite],
+        summaries: Dict[str, Optional[Unit]],
+    ) -> Optional[Unit]:
+        if isinstance(expr, ast.Name):
+            from_env = env.get(expr.id)
+            if from_env is not None:
+                return from_env
+            return unit_of_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return unit_of_name(expr.attr)
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+            expr.op, (ast.UAdd, ast.USub)
+        ):
+            return self._eval(expr.operand, env, sites, summaries)
+        if isinstance(expr, ast.IfExp):
+            left = self._eval(expr.body, env, sites, summaries)
+            right = self._eval(expr.orelse, env, sites, summaries)
+            if left is not None and right is not None and left.compatible(right):
+                return left
+            return None
+        if isinstance(expr, ast.Call):
+            site = sites.get(id(expr))
+            if site is not None:
+                summary = summaries.get(site.callee.qualname)
+                if summary is not None:
+                    return summary
+                if site.kind in ("function", "method"):
+                    # A resolved callee with an unknown summary stays
+                    # unknown; falling back to its *name* would double-judge.
+                    return unit_of_name(site.callee.node.name)
+                return None
+            return unit_of_expr(expr)
+        return None
+
+    # -- violations ----------------------------------------------------------
+
+    def _check_function(
+        self,
+        out: List[Violation],
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[Unit]],
+    ) -> None:
+        sites = {id(site.call): site for site in program.call_sites(fn)}
+        result = self._flow(program, fn, summaries)
+        env = result.env
+
+        # Returns must honor the function's own name suffix.
+        declared = unit_of_name(fn.node.name)
+        if declared is not None:
+            for ret, fact in result.returns:
+                if fact is not None and not declared.compatible(fact):
+                    self.emit(
+                        out,
+                        fn.src,
+                        "inter-units",
+                        ret,
+                        f"{fn.qualname} is declared [{declared.name}] but "
+                        f"returns a [{fact.name}] value",
+                    )
+
+        # Assignments: target suffix vs flow-inferred value unit.
+        for name, stmt, fact in result.assigns:
+            target_unit = unit_of_name(name)
+            if target_unit is None or fact is None:
+                continue
+            if target_unit.compatible(fact):
+                continue
+            self.emit(
+                out,
+                fn.src,
+                "inter-units",
+                stmt,
+                f"{name} [{target_unit.name}] assigned a "
+                f"[{fact.name}] value",
+            )
+
+        # Call bindings against the callee's declared parameter names.
+        for site in sites.values():
+            self._check_bindings(out, fn, site, env, sites, summaries)
+
+    def _check_bindings(
+        self,
+        out: List[Violation],
+        fn: FunctionInfo,
+        site: CallSite,
+        env: Dict[str, Unit],
+        sites: Dict[int, CallSite],
+        summaries: Dict[str, Optional[Unit]],
+    ) -> None:
+        keyword_values = {
+            id(k.value) for k in site.call.keywords if k.arg is not None
+        }
+        bound = bind_call_args(
+            site.callee, site.call, drop_receiver=site.kind != "function"
+        )
+        for param, arg in bound.items():
+            param_unit = unit_of_name(param)
+            if param_unit is None:
+                continue
+            if id(arg) in keyword_values and unit_of_expr(arg) is not None:
+                continue  # the local units pass already judges this binding
+            arg_unit = self._eval(arg, env, sites, summaries)
+            if arg_unit is None or param_unit.compatible(arg_unit):
+                continue
+            self.emit(
+                out,
+                fn.src,
+                "inter-units",
+                arg,
+                f"{site.callee.qualname} parameter {param!r} "
+                f"[{param_unit.name}] bound to a [{arg_unit.name}] value",
+            )

@@ -39,6 +39,34 @@ def hot_path_safe(func: _F) -> _F:
     return func
 
 
+def pure(func: _F) -> _F:
+    """Register a function as pure: its result depends only on its inputs.
+
+    The purity pass verifies the claim transitively — a ``@pure`` function
+    (and every callee the call graph can resolve) must not write globals,
+    mutate its arguments, or touch ambient state (clocks, global RNGs,
+    file I/O).  The chaos ``run_trial`` contract — "a TrialResult is a
+    pure function of (spec, config)" — and the Eq. 1-7 evaluators carry
+    this marker so the static pass guards what the replay harness checks
+    dynamically.
+    """
+    func.__pure__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def memoized_pure(func: _F) -> _F:
+    """Register a function as observationally pure despite an internal cache.
+
+    Memoization writes a module-level cache — a global write the purity
+    pass would otherwise flag — but callers cannot distinguish the cached
+    call from a recomputation, so ``@pure`` callers may treat it as pure.
+    The body of a ``memoized_pure`` function is exempt from the purity
+    rules; use it only when the cache is keyed on all inputs.
+    """
+    func.__memoized_pure__ = True  # type: ignore[attr-defined]
+    return func
+
+
 def mutable_state(cls: _T) -> _T:
     """Register a dataclass as intentionally mutable shared state.
 

@@ -9,21 +9,68 @@ from typing import Iterable, List, Optional, Sequence
 from repro.analysis.base import ALL_RULES, Checker, SourceFile, Violation
 from repro.analysis.config import ConfigChecker
 from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.escape import EscapeChecker
+from repro.analysis.graph import Program
 from repro.analysis.hotpath import HotPathChecker
+from repro.analysis.interunits import InterUnitsChecker
+from repro.analysis.purity import PurityChecker
+from repro.analysis.taint import RngTaintChecker
 from repro.analysis.units import UnitsChecker
+
+#: Directory names never descended into during discovery: caches, build
+#: output, and virtualenvs hold generated or third-party ``.py`` files
+#: that are not part of the analyzed program.
+_SKIP_DIRS = {
+    "__pycache__",
+    "build",
+    "dist",
+    "node_modules",
+    "venv",
+    ".venv",
+}
 
 
 def default_checkers() -> List[Checker]:
-    return [UnitsChecker(), DeterminismChecker(), HotPathChecker(), ConfigChecker()]
+    return [
+        UnitsChecker(),
+        DeterminismChecker(),
+        HotPathChecker(),
+        ConfigChecker(),
+        InterUnitsChecker(),
+        RngTaintChecker(),
+        PurityChecker(),
+        EscapeChecker(),
+    ]
+
+
+def _skip_dir(name: str) -> bool:
+    return (
+        name in _SKIP_DIRS
+        or name.startswith(".")
+        or name.endswith(".egg-info")
+    )
 
 
 def discover(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Cache, VCS, build, and virtualenv directories are pruned
+    (:data:`_SKIP_DIRS`, hidden names, ``*.egg-info``) — analyzing a
+    checkout that carries a stray ``__pycache__`` or ``.venv`` must give
+    the same answer as a clean one.  Explicitly named files are never
+    filtered: naming a path on the command line overrides the pruning.
+    """
     found: List[str] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            found.extend(str(p) for p in path.rglob("*.py"))
+            for candidate in path.rglob("*.py"):
+                relative = candidate.relative_to(path)
+                if any(_skip_dir(part) for part in relative.parts[:-1]):
+                    continue
+                if candidate.name.startswith("."):
+                    continue
+                found.append(str(candidate))
         elif path.suffix == ".py":
             found.append(str(path))
         else:
@@ -37,11 +84,12 @@ def analyze_sources(
 ) -> List[Violation]:
     """Run all passes over already-parsed sources; optionally filter rules."""
     file_list = [src for src in files if not src.skip_all]
+    program = Program.build(file_list)
     violations: List[Violation] = []
     for checker in default_checkers():
         if rules is not None and not set(checker.rules) & set(rules):
             continue
-        violations.extend(checker.check(file_list))
+        violations.extend(checker.check(file_list, program=program))
     if rules is not None:
         violations = [v for v in violations if v.rule in rules]
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))

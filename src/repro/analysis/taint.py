@@ -1,0 +1,287 @@
+"""RNG/seed taint analysis: the reproducibility contract, statically.
+
+The chaos engine promises that every trial is regenerable from
+``(campaign_seed, trial_index)`` — which holds only if every generator
+feeding :mod:`repro.chaos` and :mod:`repro.faults` is constructed from an
+*explicit seed parameter*.  This pass tracks generator construction and
+classifies the seed expression:
+
+``seeded``
+    Derives (through locals, attributes, tuples, and arithmetic) from a
+    function parameter — ``default_rng((campaign_seed, trial_index))``,
+    ``default_rng(self.seed + 1)``, ``default_rng([spec.link_seed, i])``.
+
+``literal``
+    A hard-coded constant.  Deterministic, but every trial shares it, so
+    randomness no longer derives from the campaign identity.
+
+``ambient``
+    Derives from the environment — ``time.time()``, ``os.urandom`` — the
+    exact nondeterminism the replay harness cannot reproduce.
+
+``unseeded``
+    No seed argument at all (``default_rng()``, ``random.Random()``).
+
+Constructions that are not ``seeded`` are flagged, but only inside the
+guarded packages (:attr:`RngTaintChecker.packages`): elsewhere a fixed
+literal seed is a legitimate idiom (catalog generation, demo scripts).
+Function summaries make the check interprocedural: a helper that returns
+an unseeded generator taints every chaos call site that uses it, and a
+wrapper like ``trial_rng(campaign_seed, trial_index)`` stays clean because
+its taint is re-evaluated against the actual arguments at each call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Checker, SourceFile, Violation
+from repro.analysis.flow import LocalFlow, bind_call_args, fixpoint_summaries
+from repro.analysis.graph import CallSite, FunctionInfo, Program, attribute_chain
+
+#: Taint lattice values, from best to worst.
+SEEDED = "seeded"
+UNKNOWN = "unknown"
+LITERAL = "literal"
+AMBIENT = "ambient"
+UNSEEDED = "unseeded"
+
+_SEVERITY = {SEEDED: 0, UNKNOWN: 1, LITERAL: 2, AMBIENT: 3, UNSEEDED: 4}
+
+#: Constructor tails that produce a generator instance.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "Generator", "Random"}
+
+#: Ambient sources a seed must never derive from.
+_AMBIENT_TAILS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("os", "urandom"),
+    ("os", "getpid"),
+    ("uuid", "uuid4"),
+}
+
+_PROBLEMS = {
+    UNSEEDED: "is constructed without a seed",
+    LITERAL: "is seeded by a hard-coded constant, not a seed parameter",
+    AMBIENT: "derives its seed from ambient state (clock/os entropy)",
+}
+
+
+def _worst(*taints: str) -> str:
+    return max(taints, key=lambda t: _SEVERITY[t]) if taints else UNKNOWN
+
+
+def _combine(*taints: str) -> str:
+    """Taint of a *composite* seed expression.
+
+    Ambient or missing components poison the whole expression, but a
+    parameter component redeems literal offsets: ``seed + 17`` and
+    ``(campaign_seed, 3)`` still derive from the campaign identity.
+    """
+    if not taints:
+        return UNKNOWN
+    worst = _worst(*taints)
+    if worst in (AMBIENT, UNSEEDED):
+        return worst
+    if SEEDED in taints:
+        return SEEDED
+    return worst
+
+
+class RngTaintChecker(Checker):
+    """Flag generators in the guarded packages not derived from seeds."""
+
+    rules = ("rng-taint",)
+
+    #: Module prefixes where the seed-derivation contract is enforced.
+    packages: Tuple[str, ...] = ("repro.chaos", "repro.faults")
+
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[Program] = None
+    ) -> List[Violation]:
+        if program is None:
+            program = Program.build(files)
+        functions = list(program.functions())
+        summaries = fixpoint_summaries(
+            functions,
+            lambda fn, prior: self._summarize(program, fn, prior),
+            max_rounds=8,
+        )
+        out: List[Violation] = []
+        for fn in functions:
+            if self._guarded(fn.module):
+                self._check_function(out, program, fn, summaries)
+        return out
+
+    def _guarded(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.packages
+        )
+
+    # -- summaries -----------------------------------------------------------
+
+    def _summarize(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[str]],
+    ) -> Optional[str]:
+        """Taint of the generator ``fn`` returns, or None if it returns
+        no recognizable generator.  ``seeded`` here means *seeded from
+        fn's own parameters* — call sites re-judge their actual args."""
+        result = self._flow(program, fn, summaries)
+        taints = [fact for _, fact in result.returns if fact is not None]
+        if not taints:
+            return None
+        return _worst(*taints)
+
+    def _flow(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[str]],
+    ):
+        sites = {id(site.call): site for site in program.call_sites(fn)}
+        params = set(fn.params)
+
+        def eval_expr(expr: ast.expr, env: Dict[str, str]) -> Optional[str]:
+            return self._rng_taint(expr, env, params, sites, summaries)
+
+        return LocalFlow(eval_expr).run(fn.node, {})
+
+    # -- taint evaluation ----------------------------------------------------
+
+    def _rng_taint(
+        self,
+        expr: ast.expr,
+        env: Dict[str, str],
+        params: Set[str],
+        sites: Dict[int, CallSite],
+        summaries: Dict[str, Optional[str]],
+    ) -> Optional[str]:
+        """Taint of an expression *as a generator object*, else None."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Call):
+            chain = attribute_chain(expr.func)
+            if chain and chain[-1] in _RNG_CONSTRUCTORS:
+                if not expr.args and not expr.keywords:
+                    return UNSEEDED
+                seed_args = [a for a in expr.args if not isinstance(a, ast.Starred)]
+                seed_args.extend(k.value for k in expr.keywords)
+                return _combine(
+                    *(self._seed_taint(a, env, params) for a in seed_args)
+                )
+            site = sites.get(id(expr))
+            if site is not None:
+                summary = summaries.get(site.callee.qualname)
+                if summary is None:
+                    return None
+                if summary != SEEDED:
+                    return summary
+                # Seeded from the callee's params: judge the actual args.
+                bound = bind_call_args(
+                    site.callee, expr, drop_receiver=site.kind != "function"
+                )
+                if not bound:
+                    return UNKNOWN
+                return _combine(
+                    *(self._seed_taint(a, env, params) for a in bound.values())
+                )
+        return None
+
+    def _seed_taint(
+        self, expr: ast.expr, env: Dict[str, str], params: Set[str]
+    ) -> str:
+        """Taint of an expression *as a seed value*."""
+        if isinstance(expr, ast.Constant):
+            return LITERAL
+        if isinstance(expr, ast.Name):
+            if expr.id in params:
+                return SEEDED
+            return UNKNOWN
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            root = expr
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in params:
+                return SEEDED
+            return UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return _combine(*(self._seed_taint(e, env, params) for e in expr.elts))
+        if isinstance(expr, ast.BinOp):
+            return _combine(
+                self._seed_taint(expr.left, env, params),
+                self._seed_taint(expr.right, env, params),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._seed_taint(expr.operand, env, params)
+        if isinstance(expr, ast.Call):
+            chain = attribute_chain(expr.func)
+            if len(chain) >= 2 and (chain[-2], chain[-1]) in _AMBIENT_TAILS:
+                return AMBIENT
+            parts = [
+                self._seed_taint(a, env, params)
+                for a in expr.args
+                if not isinstance(a, ast.Starred)
+            ]
+            parts.extend(
+                self._seed_taint(k.value, env, params) for k in expr.keywords
+            )
+            return _combine(*parts) if parts else UNKNOWN
+        return UNKNOWN
+
+    # -- violations ----------------------------------------------------------
+
+    def _check_function(
+        self,
+        out: List[Violation],
+        program: Program,
+        fn: FunctionInfo,
+        summaries: Dict[str, Optional[str]],
+    ) -> None:
+        sites = {id(site.call): site for site in program.call_sites(fn)}
+        params = set(fn.params)
+        flagged: Set[int] = set()
+
+        def eval_expr(expr: ast.expr, env: Dict[str, str]) -> Optional[str]:
+            taint = self._rng_taint(expr, env, params, sites, summaries)
+            if (
+                taint in _PROBLEMS
+                and isinstance(expr, ast.Call)
+                and id(expr) not in flagged
+            ):
+                flagged.add(id(expr))
+                origin = self._describe_origin(expr, sites)
+                self.emit(
+                    out,
+                    fn.src,
+                    "rng-taint",
+                    expr,
+                    f"in {fn.qualname}: generator from {origin} "
+                    f"{_PROBLEMS[taint]}",
+                )
+            return taint
+
+        LocalFlow(eval_expr).run(fn.node, {})
+        # Generator expressions outside assignments/returns (e.g. a bare
+        # ``rng.normal()`` on a freshly-built generator) still get caught
+        # by walking every call once more.
+        env_final: Dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                eval_expr(node, env_final)
+
+    @staticmethod
+    def _describe_origin(expr: ast.Call, sites: Dict[int, CallSite]) -> str:
+        site = sites.get(id(expr))
+        if site is not None:
+            return site.callee.qualname
+        chain = attribute_chain(expr.func)
+        return ".".join(chain) if chain else "<call>"

@@ -96,11 +96,14 @@ SUFFIX_REGISTRY: Dict[str, Unit] = {
     # mechanics
     "n": _u("N", _FORCE),
     "nm": _u("N*m", _ENERGY, scale="torque"),
+    "n_m": _u("N*m", _ENERGY, scale="torque"),
     "j": _u("J", _ENERGY),
     "wh": _u("Wh", _ENERGY, scale="watt_hour"),
+    "wh_kg": _u("Wh/kg", (0, 2, -2, 0, 0, 0), scale="watt_hour"),
     "kg_m2": _u("kg*m^2", (1, 2, 0, 0, 0, 0)),
     "kg_m3": _u("kg/m^3", (1, -3, 0, 0, 0, 0)),
     "pa": _u("Pa", (1, -1, -2, 0, 0, 0)),
+    "kpa": _u("kPa", (1, -1, -2, 0, 0, 0), scale="kilo"),
     # electrical
     "w": _u("W", _POWER),
     "kw": _u("kW", _POWER, scale="kilo"),
@@ -162,7 +165,9 @@ class UnitsChecker(Checker):
 
     rules = ("units-mismatch",)
 
-    def check(self, files: Sequence[SourceFile]) -> List[Violation]:
+    def check(
+        self, files: Sequence[SourceFile], program: Optional[object] = None
+    ) -> List[Violation]:
         out: List[Violation] = []
         for src in files:
             for node in ast.walk(src.tree):

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path, hot_path_safe
 from repro.autopilot.arducopter import Autopilot, FlightMode
 from repro.faults.envelope import DEFAULT_CRASH_ENVELOPE, CrashEnvelope
 from repro.faults.schedule import FaultSchedule
@@ -325,6 +326,7 @@ class SafetyMonitor:
     def altitude_m(self) -> float:
         return float(self.autopilot.sim.body.state.position_m[2])
 
+    @hot_path_safe
     def active_fault_names(self) -> Tuple[str, ...]:
         """Kinds of the currently-active faults, sorted for determinism."""
         return tuple(
@@ -354,6 +356,7 @@ class SafetyMonitor:
 
     # -- evaluation --------------------------------------------------------------
 
+    @hot_path
     def check(self, time_s: float) -> Optional[Violation]:
         """Evaluate every invariant at ``time_s``; returns the first *new*
         violation recorded this tick (None while all hold)."""

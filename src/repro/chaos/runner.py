@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.markers import pure
 from repro.autopilot.arducopter import Autopilot, FlightMode, MissionItem
 from repro.autopilot.mavlink import Link, MessageType
 from repro.autopilot.offload import PoseStalenessWatchdog
@@ -108,6 +109,7 @@ def _recovery_time_s(autopilot: Autopilot, spec: TrialSpec) -> Optional[float]:
     return None
 
 
+@pure
 def run_trial(spec: TrialSpec, config: CampaignConfig) -> TrialResult:
     """Fly one chaos trial to completion (or loss) and judge it."""
     model = DroneModel(**DEFAULT_MODEL)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.analysis.markers import hot_path, pure
 from repro.components.base import Component, LinearFit
 
 
@@ -61,6 +62,8 @@ class EscSpec(Component):
         return SWITCHING_EVENTS_PER_REV * rotor_rpm / 60.0
 
 
+@pure
+@hot_path
 def esc_set_weight_g(
     max_continuous_current_a: float,
     esc_class: EscClass = EscClass.LONG_FLIGHT,

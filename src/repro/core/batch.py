@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.markers import hot_path, hot_path_safe, memoized_pure, pure
 from repro.components.battery import FIG7_WEIGHT_FITS
 from repro.components.esc import FIG8A_WEIGHT_FITS, EscClass, esc_set_weight_g
 from repro.components.frame import (
@@ -327,6 +328,8 @@ _WHEELBASE_CONSTANTS_CACHE: Dict[bytes, Tuple[np.ndarray, ...]] = {}
 _WHEELBASE_CONSTANTS_CACHE_LIMIT = 64
 
 
+@memoized_pure
+@hot_path_safe
 def _wheelbase_constants(
     wheelbase_mm: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -350,6 +353,8 @@ def _wheelbase_constants(
     return cached
 
 
+@pure
+@hot_path
 def _frame_weight_g(wheelbase_mm: np.ndarray) -> np.ndarray:
     """Vectorized Figure 8b piecewise frame-weight fit."""
     large_g = FIG8B_LARGE_FIT.slope * wheelbase_mm + FIG8B_LARGE_FIT.intercept
@@ -357,6 +362,8 @@ def _frame_weight_g(wheelbase_mm: np.ndarray) -> np.ndarray:
     return np.where(wheelbase_mm > SMALL_FRAME_LIMIT_MM, large_g, small_g)
 
 
+@pure
+@hot_path
 def _battery_weight_g(cells: np.ndarray, capacity_mah: np.ndarray) -> np.ndarray:
     """Vectorized Figure 7 per-cell-count battery-weight fits."""
     weight_g = np.empty_like(capacity_mah)
@@ -396,6 +403,8 @@ def _per_wheelbase_constants(
     return propellers_g[inverse], ct_rho_d4[inverse], sqrt_term[inverse]
 
 
+@pure
+@hot_path
 def _required_kv(
     thrust_n: np.ndarray,
     ct_rho_d4: np.ndarray,
@@ -407,6 +416,8 @@ def _required_kv(
     return rpm_needed / voltage_v
 
 
+@pure
+@hot_path
 def _motor_set_weight_g(kv: np.ndarray, thrust_per_motor_g: np.ndarray) -> np.ndarray:
     """Vectorized ``4 * motor_mass_g_for`` (x^0.75 as sqrt(x*sqrt(x)))."""
     torque_proxy = thrust_per_motor_g / np.sqrt(kv)
@@ -414,6 +425,8 @@ def _motor_set_weight_g(kv: np.ndarray, thrust_per_motor_g: np.ndarray) -> np.nd
     return 4.0 * np.maximum(2.0, mass_g)
 
 
+@pure
+@hot_path
 def _per_motor_current_a(
     thrust_n: np.ndarray,
     induced_power_sqrt_term: np.ndarray,
@@ -430,6 +443,8 @@ def _per_motor_current_a(
     return power_w / voltage_v
 
 
+@pure
+@hot_path
 def _esc_set_weight_g(per_motor_current_a: np.ndarray, esc_class: EscClass) -> np.ndarray:
     """Vectorized ``esc_set_weight_g`` (Figure 8a fit, floor at 4 g)."""
     fit = FIG8A_WEIGHT_FITS[esc_class]
@@ -437,6 +452,8 @@ def _esc_set_weight_g(per_motor_current_a: np.ndarray, esc_class: EscClass) -> n
     return np.maximum(4.0, fit.slope * current_a + fit.intercept)
 
 
+@pure
+@hot_path
 def evaluate_grid(grid: BatchDesignGrid) -> BatchEvaluation:
     """Run the full Equations 1-7 chain over every lane of ``grid``.
 
@@ -726,6 +743,7 @@ def evaluate_grid(grid: BatchDesignGrid) -> BatchEvaluation:
     )
 
 
+@pure
 def evaluate_batch(
     wheelbase_mm: object,
     battery_cells: object,

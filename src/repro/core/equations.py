@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.markers import hot_path, pure
 from repro.components.battery import battery_weight_g
 from repro.components.esc import EscClass, esc_set_weight_g
 from repro.components.frame import frame_weight_g
@@ -56,6 +57,7 @@ MAX_FEASIBLE_ESC_CURRENT_A = 95.0
 MAX_FEASIBLE_C_RATING = 150.0
 
 
+@pure
 def required_c_rating(
     capacity_mah: float,
     total_motor_current_a: float,
@@ -127,6 +129,8 @@ class WeightBreakdown:
         }
 
 
+@pure
+@hot_path
 def motor_max_current_a(
     total_weight_g: float,
     propeller_inch: float,
@@ -153,6 +157,7 @@ def motor_max_current_a(
     return power_w / battery_voltage_v
 
 
+@pure
 def close_weight(
     wheelbase_mm: float,
     battery_cells: int,
@@ -260,6 +265,7 @@ def close_weight(
     )
 
 
+@pure
 def average_power_w(
     motor_max_current_a_value: float,
     battery_voltage_v: float,
@@ -280,6 +286,7 @@ def average_power_w(
     return propulsion_w + compute_power_w + sensors_power_w
 
 
+@pure
 def usable_battery_energy_wh(
     capacity_mah: float,
     battery_cells: int,
@@ -299,6 +306,7 @@ def usable_battery_energy_wh(
     return capacity_mah / 1000.0 * voltage * drain_limit * power_efficiency
 
 
+@pure
 def flight_time_min(usable_energy_wh: float, average_power: float) -> float:
     """Equation 5: flight time (minutes)."""
     if usable_energy_wh < 0:
@@ -308,6 +316,7 @@ def flight_time_min(usable_energy_wh: float, average_power: float) -> float:
     return usable_energy_wh / average_power * 60.0
 
 
+@pure
 def computation_power_share(total_power_w: float, compute_power_w: float) -> float:
     """Equation 6: fraction of total power going to computation."""
     if total_power_w <= 0:
@@ -319,6 +328,7 @@ def computation_power_share(total_power_w: float, compute_power_w: float) -> flo
     return compute_power_w / total_power_w
 
 
+@pure
 def gained_flight_time_min(
     computation_share: float, flight_time_minutes: float
 ) -> float:
@@ -334,6 +344,7 @@ def gained_flight_time_min(
     return flight_time_minutes * computation_share / (1.0 - computation_share)
 
 
+@pure
 def flight_time_delta_for_power_change_min(
     power_delta_w: float,
     total_power_w: float,

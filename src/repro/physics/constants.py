@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.markers import hot_path, pure
+
 # --- Universal physics -----------------------------------------------------
 
 GRAVITY_M_S2 = 9.80665
@@ -117,6 +119,8 @@ WIRING_WEIGHT_FRACTION = 0.03
 """Wires/connectors weight as a fraction of electromechanical weight."""
 
 
+@pure
+@hot_path
 def propeller_disk_area_m2(diameter_inch: float) -> float:
     """Return the actuator-disk area (m^2) of a propeller given its diameter.
 
@@ -129,6 +133,8 @@ def propeller_disk_area_m2(diameter_inch: float) -> float:
     return math.pi * radius_m * radius_m
 
 
+@pure
+@hot_path
 def air_density_kg_m3(altitude_m: float = 0.0, temperature_offset_k: float = 0.0) -> float:
     """ISA air density at ``altitude_m`` with an optional temperature offset.
 
@@ -148,11 +154,15 @@ def air_density_kg_m3(altitude_m: float = 0.0, temperature_offset_k: float = 0.0
     return pressure_pa / (AIR_GAS_CONSTANT_J_KG_K * temperature_k)
 
 
+@pure
+@hot_path
 def grams_to_newtons(grams: float) -> float:
     """Convert a thrust/weight expressed in grams-force to newtons."""
     return grams / 1000.0 * GRAVITY_M_S2
 
 
+@pure
+@hot_path
 def newtons_to_grams(newtons: float) -> float:
     """Convert a force in newtons to grams-force (the hobby-drone unit)."""
     return newtons / GRAVITY_M_S2 * 1000.0

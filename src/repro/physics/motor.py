@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.markers import hot_path, pure
 from repro.physics import constants
 from repro.physics.propeller import PropellerModel
 
@@ -130,6 +131,8 @@ class MotorOperatingPoint:
         return self.rev_per_s * 60.0
 
 
+@pure
+@hot_path
 def required_kv_for(
     propeller: PropellerModel,
     max_thrust_g: float,
@@ -151,6 +154,8 @@ def required_kv_for(
     return rpm_needed / supply_v
 
 
+@pure
+@hot_path
 def motor_mass_g_for(kv_rpm_per_v: float, max_thrust_g: float) -> float:
     """Estimated motor mass (g) from its torque class.
 

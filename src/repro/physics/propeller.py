@@ -16,10 +16,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.analysis.markers import hot_path
+from repro.analysis.markers import hot_path, pure
 from repro.physics import constants
 
 
+@pure
 @hot_path
 def ideal_hover_power_w(
     thrust_n: float,
@@ -43,6 +44,7 @@ def ideal_hover_power_w(
     return thrust_n * math.sqrt(thrust_n) / math.sqrt(2.0 * air_density * disk_area_m2)
 
 
+@pure
 @hot_path
 def hover_electrical_power_w(
     thrust_n: float,
@@ -65,6 +67,7 @@ def hover_electrical_power_w(
     return ideal / (figure_of_merit * drive_efficiency)
 
 
+@pure
 def max_propeller_inch_for_wheelbase(wheelbase_mm: float) -> float:
     """Largest propeller (inches) that fits a quadcopter frame.
 
@@ -159,6 +162,8 @@ class PropellerModel:
         return self.torque_nm(rev_per_s, air_density) * 2.0 * math.pi * rev_per_s
 
 
+@pure
+@hot_path
 def typical_propeller_for(diameter_inch: float) -> PropellerModel:
     """A representative propeller for the given diameter.
 

@@ -1,0 +1,43 @@
+"""Escape fixture: hot-path hazards hiding in transitive callees."""
+
+from repro.analysis.markers import hot_path, hot_path_safe
+
+
+def leaf_logger(value: float) -> None:
+    label = f"value={value}"  # reachable format hazard
+    print(label)  # reachable log hazard
+
+
+def middle(value: float) -> float:
+    leaf_logger(value)
+    return value * 2.0
+
+
+def allocator(values: list) -> list:
+    return [v * 2.0 for v in values]  # reachable alloc hazard
+
+
+@hot_path
+def control_tick(values: list) -> float:
+    total = middle(float(len(values)))  # lint: ignore[hot-callee]
+    doubled = allocator(values)  # lint: ignore[hot-callee]
+    return total + len(doubled)
+
+
+def clean_leaf(x: float) -> float:
+    return x + 1.0
+
+
+def clean_middle(x: float) -> float:
+    return clean_leaf(x) * 0.5
+
+
+@hot_path_safe
+def tolerated(values: list) -> list:
+    return [v for v in values]
+
+
+@hot_path
+def quiet_tick(x: float) -> float:
+    y = clean_middle(x)  # lint: ignore[hot-callee]
+    return tolerated([y])[0]

@@ -1,0 +1,29 @@
+"""Interprocedural-units fixture: mismatches only visible through summaries."""
+
+
+def hover_power_w(mass_kg: float) -> float:
+    return mass_kg * 9.81
+
+
+def takeoff_thrust_n(mass_kg: float) -> float:
+    return mass_kg * 9.81 * 1.2
+
+
+def mixed_assignment(pack_voltage_v: float) -> float:
+    power_w = hover_power_w(1.2)  # clean: [W] target, [W] summary
+    thrust_n = hover_power_w(1.2)  # BAD: [N] target, [W] summary
+    return thrust_n / pack_voltage_v
+
+
+def total_weight_g(frame_mass_kg: float) -> float:
+    return frame_mass_kg  # BAD: declared [g], returns [kg]
+
+
+def mixed_binding(burn_time_s: float) -> float:
+    return takeoff_thrust_n(burn_time_s)  # BAD: param mass_kg bound to [s]
+
+
+def clean_chain(mass_kg: float) -> float:
+    lift_n = takeoff_thrust_n(mass_kg)  # clean: [N] target, [N] summary
+    margin_n = lift_n  # clean: same unit through the flow env
+    return margin_n

@@ -1,0 +1,19 @@
+"""Suffix-table fixture: pa/kpa, mah, wh_kg, and n_m carry real units."""
+
+
+def pressure_margin(ambient_pa: float, cabin_kpa: float, torque_n_m: float) -> float:
+    bad_scale = ambient_pa + cabin_kpa  # Pa vs kPa: same dimension, wrong scale
+    bad_dim = torque_n_m > ambient_pa  # N*m vs Pa: different dimensions
+    return bad_scale if bad_dim else 0.0
+
+
+def battery_margin(capacity_mah: float, density_wh_kg: float) -> float:
+    bad_mix = capacity_mah - density_wh_kg  # mAh vs Wh/kg
+    return bad_mix
+
+
+def clean_cases(stall_n_m: float, spec_wh_kg: float, reserve_mah: float) -> float:
+    total_n_m = stall_n_m + stall_n_m  # same unit: fine
+    headroom_mah = reserve_mah - reserve_mah  # same unit: fine
+    specific = spec_wh_kg / spec_wh_kg  # division derives units: fine
+    return total_n_m + headroom_mah * specific
