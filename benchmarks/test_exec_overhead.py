@@ -1,0 +1,104 @@
+"""Perf guard: supervision and journaling overhead on fault-free sweeps.
+
+The fault-tolerant layer buys crash/hang survival with bookkeeping —
+per-chunk futures, heartbeat files, fingerprints, journal appends.  That
+tax is only acceptable if it stays small when nothing goes wrong, which
+is the common case.  This benchmark prices the inline supervised path and
+the checkpoint journal against the bare serial loop on a pure-Python
+workload sized like one sweep chunk.
+"""
+
+import math
+
+from repro.exec.journal import (
+    CheckpointJournal,
+    JournalEntry,
+    fingerprint_value,
+)
+from repro.exec.supervised import SupervisedPool
+
+from conftest import print_table
+
+ITEMS = list(range(256))
+
+
+def _work(value: int) -> float:
+    total = 0.0
+    for i in range(200):
+        total += math.sqrt(value + i + 1.0)
+    return total
+
+
+def _serial() -> list:
+    return [_work(item) for item in ITEMS]
+
+
+def test_supervised_inline_overhead(benchmark):
+    expected = _serial()
+    outcome = benchmark.pedantic(
+        lambda: SupervisedPool(parallel=False, chunk_size=16).map(_work, ITEMS),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.results == expected
+    assert outcome.report.chunks_completed == len(ITEMS) // 16
+
+    print_table(
+        "Supervised inline execution (256 items, chunk_size=16)",
+        ("chunks", "retries", "state"),
+        [
+            (
+                str(outcome.report.chunks_total),
+                str(outcome.report.retries),
+                outcome.report.state,
+            )
+        ],
+    )
+
+
+def test_journaled_run_overhead(benchmark, tmp_path):
+    expected = _serial()
+
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        path = tmp_path / f"journal_{counter[0]}.jsonl"
+        return SupervisedPool(
+            parallel=False, chunk_size=16, journal=path
+        ).map(_work, ITEMS)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.results == expected
+
+
+def test_journal_append_throughput(benchmark, tmp_path):
+    """Raw journal appends: fsync-per-entry is the dominant cost."""
+    payload = [float(i) for i in range(16)]
+    counter = [0]
+
+    def append_chunks():
+        counter[0] += 1
+        journal = CheckpointJournal(tmp_path / f"tp_{counter[0]}.jsonl")
+        journal.start(
+            {
+                "target": "bench",
+                "items": len(ITEMS),
+                "chunks": 16,
+                "chunk_size": 16,
+                "run_fingerprint": "bench",
+            }
+        )
+        for chunk_id in range(16):
+            journal.append(
+                JournalEntry(
+                    chunk_id=chunk_id,
+                    fingerprint=fingerprint_value(chunk_id),
+                    results=payload,
+                )
+            )
+        return journal
+
+    journal = benchmark.pedantic(append_chunks, rounds=3, iterations=1)
+    _, entries = journal.load()
+    assert len(entries) == 16

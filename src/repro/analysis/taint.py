@@ -99,7 +99,10 @@ class RngTaintChecker(Checker):
     rules = ("rng-taint",)
 
     #: Module prefixes where the seed-derivation contract is enforced.
-    packages: Tuple[str, ...] = ("repro.chaos", "repro.faults")
+    #: ``repro.exec`` is guarded for its self-chaos fault simulator: an
+    #: unseeded flaky-fault stream would make the execution layer's own
+    #: resilience tests unreproducible.
+    packages: Tuple[str, ...] = ("repro.chaos", "repro.faults", "repro.exec")
 
     def check(
         self, files: Sequence[SourceFile], program: Optional[Program] = None

@@ -37,12 +37,14 @@ from repro.chaos.invariants import (
 )
 from repro.chaos.recorder import BlackBoxTrace, FlightRecorder, TickRecord
 from repro.chaos.runner import (
+    CampaignRun,
     TrialResult,
     VERDICT_CRASH,
     VERDICT_SAFE,
     VERDICT_VIOLATION,
     replay_trial,
     run_campaign,
+    run_campaign_supervised,
     run_trial,
     run_trial_by_index,
     verify_replay,
@@ -70,12 +72,14 @@ __all__ = [
     "BlackBoxTrace",
     "FlightRecorder",
     "TickRecord",
+    "CampaignRun",
     "TrialResult",
     "VERDICT_CRASH",
     "VERDICT_SAFE",
     "VERDICT_VIOLATION",
     "replay_trial",
     "run_campaign",
+    "run_campaign_supervised",
     "run_trial",
     "run_trial_by_index",
     "verify_replay",

@@ -5,6 +5,14 @@ report plus one black-box trace per failed trial, and (with
 ``--replay-failures``) re-flies every failure from its recorded
 ``(seed, schedule)`` tuple to verify bit-for-bit determinism.
 
+With ``--checkpoint PATH`` the campaign runs under the fault-tolerant
+execution layer (:mod:`repro.exec`): every completed trial chunk is
+journaled, worker deaths and hangs are retried, and a campaign killed
+mid-run — worker SIGKILL or whole-process SIGKILL alike — can be
+restarted with ``--checkpoint PATH --resume`` to continue from the last
+completed chunk with bit-for-bit identical output.  The execution report
+is written next to the campaign artifacts as ``execution.json``.
+
 Exit status: 0 on success, 1 when ``--replay-failures`` finds a replay
 mismatch (a broken determinism contract), 2 on usage errors.
 """
@@ -18,12 +26,15 @@ from typing import List, Optional
 
 from repro.chaos.campaign import CampaignConfig
 from repro.chaos.runner import (
+    CampaignRun,
     TrialResult,
     run_campaign,
+    run_campaign_supervised,
     verify_replay,
 )
 from repro.chaos.triage import CampaignReport, triage
 from repro.core.parallel import SweepRunnerConfig
+from repro.exec.policy import ExecutionPolicy
 
 
 def _format_report(report: CampaignReport) -> str:
@@ -66,8 +77,13 @@ def _write_artifacts(
     output_dir: str,
     report: CampaignReport,
     results: List[TrialResult],
+    run: Optional[CampaignRun] = None,
 ) -> None:
     os.makedirs(output_dir, exist_ok=True)
+    if run is not None and run.execution is not None:
+        execution_path = os.path.join(output_dir, "execution.json")
+        with open(execution_path, "w", encoding="utf-8") as handle:
+            handle.write(run.execution.to_json(indent=2))
     traces_dir = os.path.join(output_dir, "traces")
     report_path = os.path.join(output_dir, "campaign.json")
     with open(report_path, "w", encoding="utf-8") as handle:
@@ -131,7 +147,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="re-fly every failed trial and verify bit-for-bit determinism",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run under the supervised execution layer and journal every "
+            "completed trial chunk to PATH (JSON lines)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed campaign from its --checkpoint journal",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk wall-clock budget before a hung worker is killed",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        exists = os.path.exists(args.checkpoint)
+        if exists and not args.resume:
+            print(
+                f"error: checkpoint journal {args.checkpoint!r} already "
+                "exists; pass --resume to continue it or remove the file",
+                file=sys.stderr,
+            )
+            return 2
+        if args.resume and not exists:
+            print(
+                f"error: --resume given but {args.checkpoint!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
 
     try:
         config = CampaignConfig(
@@ -148,12 +204,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner_config = SweepRunnerConfig(
         max_workers=args.workers, parallel=not args.inline
     )
-    results = run_campaign(config, runner_config)
+    run: Optional[CampaignRun] = None
+    if args.checkpoint:
+        policy = (
+            ExecutionPolicy(chunk_timeout_s=args.chunk_timeout)
+            if args.chunk_timeout is not None
+            else None
+        )
+        run = run_campaign_supervised(
+            config,
+            runner_config,
+            journal_path=args.checkpoint,
+            policy=policy,
+        )
+        results = run.results
+        if run.execution is not None:
+            print(
+                f"execution: state={run.execution.state} "
+                f"resumed={run.execution.chunks_resumed} "
+                f"retries={run.execution.retries} "
+                f"worker_deaths={run.execution.worker_deaths} "
+                f"hang_kills={run.execution.hang_kills}"
+            )
+        for record in run.quarantined:
+            print(
+                f"QUARANTINED trial chunk item {record.item_index}: "
+                f"{record.error_type}: {record.error_message} "
+                f"({record.attempts} attempt(s))",
+                file=sys.stderr,
+            )
+    else:
+        results = run_campaign(config, runner_config)
     report = triage(results)
     print(_format_report(report))
 
     if args.output:
-        _write_artifacts(args.output, report, results)
+        _write_artifacts(args.output, report, results, run)
 
     if args.replay_failures:
         failed = [result for result in results if result.failed]

@@ -18,7 +18,8 @@ machine without giving up input-order results.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -31,6 +32,8 @@ from repro.chaos.campaign import CampaignConfig, TrialSpec, generate_campaign
 from repro.chaos.invariants import SafetyMonitor, Violation
 from repro.chaos.recorder import BlackBoxTrace, FlightRecorder
 from repro.core.parallel import ParallelSweepRunner, SweepRunnerConfig
+from repro.exec.policy import ExecutionPolicy
+from repro.exec.report import ExecutionReport, QuarantineRecord
 from repro.faults.injectors import FaultInjector
 from repro.faults.scenarios import DEFAULT_MODEL, HEARTBEAT_PERIOD_S
 from repro.sim.simulator import DroneModel, FlightSimulator
@@ -278,7 +281,10 @@ def run_campaign(
 
     Parallelism reuses :class:`repro.core.parallel.ParallelSweepRunner`'s
     deterministic chunking, so inline and parallel runs return identical
-    result lists.
+    result lists.  A worker death surfaces as a structured
+    :class:`repro.exec.errors.WorkerCrashError` (via the runner) rather
+    than an opaque ``BrokenProcessPool``; for a campaign that must
+    *survive* such faults, use :func:`run_campaign_supervised`.
     """
     specs = generate_campaign(config)
     runner = ParallelSweepRunner(
@@ -287,3 +293,54 @@ def run_campaign(
         else SweepRunnerConfig(parallel=False)
     )
     return runner.map(_run_trial_item, [(spec, config) for spec in specs])
+
+
+@dataclass
+class CampaignRun:
+    """A supervised campaign: surviving trials plus execution accounting."""
+
+    #: Trial results in trial order; quarantined trials are absent here
+    #: and listed in :attr:`quarantined` instead.
+    results: List[TrialResult]
+    quarantined: Tuple[QuarantineRecord, ...]
+    execution: Optional[ExecutionReport]
+
+
+def run_campaign_supervised(
+    config: CampaignConfig,
+    runner_config: Optional[SweepRunnerConfig] = None,
+    journal_path: Optional["os.PathLike[str] | str"] = None,
+    policy: Optional[ExecutionPolicy] = None,
+) -> CampaignRun:
+    """Fly the campaign under the fault-tolerant execution layer.
+
+    Trials run through :class:`repro.exec.supervised.SupervisedPool`:
+    worker deaths and hangs are retried, a trial that poisons every retry
+    is quarantined instead of aborting the campaign, and — when
+    ``journal_path`` is given — every completed chunk is checkpointed so a
+    killed campaign resumes from the journal with results bit-for-bit
+    identical to an uninterrupted run (trial chunks are regenerated from
+    ``(campaign_seed, trial_index)``, so the journal fingerprint check
+    guarantees the resumed chunks belong to this exact campaign).
+    """
+    specs = generate_campaign(config)
+    base = (
+        runner_config
+        if runner_config is not None
+        else SweepRunnerConfig(parallel=False)
+    )
+    supervised_config = replace(
+        base, supervised=True, policy=policy if policy is not None else base.policy
+    )
+    runner = ParallelSweepRunner(supervised_config)
+    raw = runner.map(
+        _run_trial_item,
+        [(spec, config) for spec in specs],
+        journal=journal_path,
+    )
+    results = [result for result in raw if isinstance(result, TrialResult)]
+    report = runner.last_report
+    quarantined = tuple(report.quarantined) if report is not None else ()
+    return CampaignRun(
+        results=results, quarantined=quarantined, execution=report
+    )

@@ -18,6 +18,19 @@ with the guarantees a reproduction repo needs:
 * **Worker count from config** — ``SweepRunnerConfig.max_workers`` (default:
   ``os.cpu_count()``); ``parallel=False`` runs everything inline in the
   calling process, which is the mode tests use to stay hermetic.
+* **Attributed failures** — a chunk exception cancels all pending chunks,
+  shuts the executor down with ``cancel_futures=True``, and re-raises the
+  original exception with the failing item's global index attached as
+  ``sweep_item_index``; a worker death surfaces as a structured
+  :class:`repro.exec.errors.WorkerCrashError` instead of an opaque
+  ``BrokenProcessPool``.
+* **Supervised mode** — ``SweepRunnerConfig(supervised=True)`` (or passing
+  ``journal=`` to :meth:`ParallelSweepRunner.map`) routes execution
+  through :class:`repro.exec.supervised.SupervisedPool`: retries with
+  backoff, heartbeat hang detection, poison-item quarantine, graceful
+  degradation to inline execution, and checkpoint/resume.  The resulting
+  :class:`repro.exec.report.ExecutionReport` is exposed on
+  ``runner.last_report``.
 
 The mapped callable runs in worker processes, so it (and its arguments)
 must be picklable — define it at module level, not as a lambda or closure.
@@ -27,9 +40,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from functools import partial
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro.exec.errors import ChunkExecutionError, WorkerCrashError
+from repro.exec.policy import ExecutionPolicy
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -42,6 +58,11 @@ class SweepRunnerConfig:
     max_workers: Optional[int] = None
     chunk_size: int = 4
     parallel: bool = True
+    #: Route execution through the supervised pool (retries, quarantine,
+    #: degradation) even when no checkpoint journal is attached.
+    supervised: bool = False
+    #: Supervision knobs; ``None`` uses :class:`ExecutionPolicy` defaults.
+    policy: Optional[ExecutionPolicy] = None
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers <= 0:
@@ -66,6 +87,21 @@ def _run_chunk(
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_span(
+    fn: Callable[[_ItemT], _ResultT],
+    chunk: Sequence[_ItemT],
+    base_index: int,
+) -> List[_ResultT]:
+    """Evaluate one chunk, attributing any failure to its global index."""
+    results: List[_ResultT] = []
+    for offset, item in enumerate(chunk):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise ChunkExecutionError(base_index + offset, exc) from None
+    return results
+
+
 def chunk_items(items: Sequence[_ItemT], chunk_size: int) -> List[Sequence[_ItemT]]:
     """Split ``items`` into contiguous chunks of at most ``chunk_size``."""
     if chunk_size <= 0:
@@ -78,26 +114,95 @@ class ParallelSweepRunner:
 
     def __init__(self, config: Optional[SweepRunnerConfig] = None):
         self.config = config if config is not None else SweepRunnerConfig()
+        #: :class:`repro.exec.report.ExecutionReport` of the most recent
+        #: supervised :meth:`map` call, else ``None``.
+        self.last_report: Optional[Any] = None
 
     def map(
-        self, fn: Callable[[_ItemT], _ResultT], items: Iterable[_ItemT]
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Iterable[_ItemT],
+        *,
+        journal: Optional[Union[str, "os.PathLike[str]", Any]] = None,
     ) -> List[_ResultT]:
         """``[fn(item) for item in items]`` — possibly across processes.
 
         Results are returned in input order.  An exception raised by ``fn``
-        for any item propagates to the caller (the executor is shut down
-        first), matching the serial loop's behavior; callables that must
-        survive infeasible points should catch and encode their own errors.
+        for any item cancels the remaining chunks and propagates to the
+        caller with ``sweep_item_index`` attached, matching the serial
+        loop's behavior; callables that must survive infeasible points
+        should catch and encode their own errors — or run supervised
+        (``config.supervised=True`` or ``journal=``), where poison items
+        are quarantined as :class:`repro.exec.supervised.QuarantinedItem`
+        failure codes instead of aborting the sweep.
         """
+        self.last_report = None
         materialized = list(items)
         if not materialized:
             return []
+        if self.config.supervised or journal is not None:
+            return self._map_supervised(fn, materialized, journal)
         workers = min(self.config.resolved_workers, len(materialized))
         if not self.config.parallel or workers == 1:
-            return [fn(item) for item in materialized]
+            return self._map_serial(fn, materialized)
         chunks = chunk_items(materialized, self.config.chunk_size)
-        with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            # Executor.map yields in submission order, which keeps the
-            # flattened results aligned with the input order.
-            chunk_results = list(pool.map(partial(_run_chunk, fn), chunks))
+        pool_workers = min(workers, len(chunks))
+        pool = ProcessPoolExecutor(max_workers=pool_workers)
+        try:
+            futures = [
+                pool.submit(
+                    _run_chunk_span, fn, chunk, cid * self.config.chunk_size
+                )
+                for cid, chunk in enumerate(chunks)
+            ]
+            chunk_results: List[List[_ResultT]] = []
+            for chunk_id, future in enumerate(futures):
+                try:
+                    chunk_results.append(future.result())
+                except ChunkExecutionError as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    original = exc.original
+                    setattr(original, "sweep_item_index", exc.item_index)
+                    raise original from None
+                except BrokenProcessPool as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise WorkerCrashError(
+                        chunk_id=chunk_id, workers=pool_workers, attempt=1
+                    ) from exc
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return [result for chunk in chunk_results for result in chunk]
+
+    def _map_serial(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        """The inline fallback, with the same failure attribution."""
+        results: List[_ResultT] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                setattr(exc, "sweep_item_index", index)
+                raise
+        return results
+
+    def _map_supervised(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Sequence[_ItemT],
+        journal: Optional[Union[str, "os.PathLike[str]", Any]],
+    ) -> List[_ResultT]:
+        from repro.exec.supervised import SupervisedPool
+
+        pool = SupervisedPool(
+            workers=min(self.config.resolved_workers, len(items)),
+            chunk_size=self.config.chunk_size,
+            policy=self.config.policy,
+            journal=journal,
+            parallel=self.config.parallel,
+        )
+        outcome = pool.map(fn, items)
+        self.last_report = outcome.report
+        return outcome.results

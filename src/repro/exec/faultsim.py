@@ -1,0 +1,169 @@
+"""Self-chaos harness: inject worker faults into the execution layer.
+
+The repo's methodology is to test resilience by injecting the faults the
+layer claims to survive (PR 1 injects into the drone, PR 5 into whole
+flights).  This module applies the same discipline to the execution layer
+itself: :class:`FaultyCallable` wraps a sweep callable and makes chosen
+items crash, kill their worker, hang, dawdle, or fail flakily — so the
+supervised pool's retry, quarantine, hang-kill, and degradation paths are
+exercised by real worker processes, not mocks.
+
+Cross-process bookkeeping uses an attempt ledger of files in
+``state_dir``: a fault like "die on the first attempt, succeed on the
+retry" must observe attempts made by *previous, now dead* workers, which
+in-memory state cannot.  Probabilistic (flaky) faults draw from an RNG
+derived only from ``(seed, item_key, attempt)``, keeping every injected
+failure pattern reproducible — the same contract the chaos campaign
+generator obeys, and the reason this module sits inside the rng-taint
+pass's guarded packages.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+#: Raise :class:`WorkerFault` inside the worker (plain exception path).
+FAULT_CRASH = "crash"
+#: ``os._exit`` the hosting process — only when it is a pool worker, so
+#: the supervisor (or a test process) is never killed by its own harness.
+FAULT_DIE = "die"
+#: Sleep far past any reasonable budget (the supervisor must kill us).
+FAULT_HANG = "hang"
+#: Sleep ``delay_s``, then succeed (latency, not failure).
+FAULT_SLOW = "slow"
+#: Fail with probability ``probability`` per attempt (seeded RNG).
+FAULT_FLAKY = "flaky"
+
+_KINDS = (FAULT_CRASH, FAULT_DIE, FAULT_HANG, FAULT_SLOW, FAULT_FLAKY)
+
+#: Exit code of a worker killed by :data:`FAULT_DIE` (visible in CI logs).
+DIE_EXIT_CODE = 77
+
+
+class WorkerFault(RuntimeError):
+    """The injected failure raised by crash/flaky faults."""
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """How one item misbehaves."""
+
+    kind: str
+    #: Fire only while the item's attempt count is <= this (None: always).
+    until_attempt: Optional[int] = None
+    #: Sleep for slow faults; hang faults sleep this long too (set it far
+    #: above the supervisor's timeout so the kill path, not the sleep's
+    #: natural end, resolves the chunk).
+    delay_s: float = 3600.0
+    #: Per-attempt trigger probability (flaky faults; others fire at 1.0).
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.until_attempt is not None and self.until_attempt <= 0:
+            raise ValueError(
+                f"until_attempt must be positive: {self.until_attempt}"
+            )
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative: {self.delay_s}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of range: {self.probability}")
+
+
+def stable_item_key(item: Any) -> int:
+    """Process-stable integer key for an item (``hash()`` is salted)."""
+    return zlib.crc32(repr(item).encode("utf-8"))
+
+
+def _fault_rng(seed: int, item_key: int, attempt: int) -> np.random.Generator:
+    """Deterministic per-(item, attempt) stream derived from the seed."""
+    return np.random.default_rng((seed, item_key, attempt))
+
+
+class FaultyCallable:
+    """Picklable wrapper injecting worker faults around ``fn``.
+
+    ``fn`` must be module-level (the wrapper crosses the process boundary
+    like any sweep callable).  Items not named in ``faults`` pass straight
+    through; a successful call always returns ``fn(item)``, so the serial
+    reference for any supervised run is simply ``[fn(item) for item in
+    items]``.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        faults: Mapping[Any, WorkerFaultSpec],
+        state_dir: "os.PathLike[str] | str",
+        seed: int = 0,
+    ) -> None:
+        self.fn = fn
+        self.faults: Dict[Any, WorkerFaultSpec] = dict(faults)
+        self.state_dir = os.fspath(state_dir)
+        self.seed = seed
+        #: The process that built the harness: never a legitimate kill
+        #: target, which is what makes FAULT_DIE safe under inline
+        #: execution (and under pytest).
+        self.supervisor_pid = os.getpid()
+
+    # -- attempt ledger ---------------------------------------------------
+
+    def _ledger_path(self, item: Any) -> str:
+        return os.path.join(
+            self.state_dir, f"item_{stable_item_key(item):08x}.attempts"
+        )
+
+    def attempts(self, item: Any) -> int:
+        """Attempts recorded so far for ``item`` (across all processes)."""
+        try:
+            return os.path.getsize(self._ledger_path(item))
+        except OSError:
+            return 0
+
+    def _bump(self, item: Any) -> int:
+        """Record one more attempt; returns the 1-based attempt number."""
+        path = self._ledger_path(item)
+        with open(path, "ab") as handle:
+            handle.write(b".")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return os.path.getsize(path)
+
+    # -- the injected callable --------------------------------------------
+
+    def __call__(self, item: Any) -> Any:
+        spec = self.faults.get(item)
+        if spec is None:
+            return self.fn(item)
+        attempt = self._bump(item)
+        if spec.until_attempt is not None and attempt > spec.until_attempt:
+            return self.fn(item)
+        if spec.probability < 1.0:
+            rng = _fault_rng(self.seed, stable_item_key(item), attempt)
+            if rng.random() >= spec.probability:
+                return self.fn(item)
+        if spec.kind == FAULT_SLOW:
+            time.sleep(spec.delay_s)
+            return self.fn(item)
+        if spec.kind == FAULT_HANG:
+            time.sleep(spec.delay_s)
+            raise WorkerFault(
+                f"hang fault on item {item!r} outlived its sleep "
+                f"({spec.delay_s} s) — the supervisor failed to kill it"
+            )
+        if spec.kind == FAULT_DIE:
+            if os.getpid() != self.supervisor_pid:
+                os._exit(DIE_EXIT_CODE)
+            # Inline execution: a worker-killing fault has no worker to
+            # kill, so the pool pathology simply does not apply.
+            return self.fn(item)
+        raise WorkerFault(
+            f"injected {spec.kind} fault on item {item!r} (attempt {attempt})"
+        )

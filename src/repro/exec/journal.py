@@ -1,0 +1,167 @@
+"""Checkpoint journal: resume a killed sweep from its last completed chunk.
+
+Format v1 is JSON lines.  The first line is a header binding the journal
+to one specific run — callable identity, item count, chunk size, and a
+run fingerprint folded over every chunk's input fingerprint — so a stale
+or foreign journal is rejected instead of silently corrupting a resume.
+Every later line is one completed chunk::
+
+    {"chunk_id": 3, "fingerprint": "9f2c...", "payload": "<base64>",
+     "quarantined": [...]}
+
+``payload`` is the chunk's result list, pickled then base64-encoded —
+results are arbitrary Python objects (chaos ``TrialResult``\\ s carry
+numpy arrays), which JSON cannot hold natively, while the pickle
+round-trip preserves them bit-for-bit for the resume-equality contract.
+``quarantined`` repeats the chunk's poison records as plain JSON so the
+resumed :class:`~repro.exec.report.ExecutionReport` is complete *and* a
+human can read the failure out of the journal with ``grep``.
+
+Appends are flushed and fsynced per chunk; a process killed mid-write
+leaves at most one truncated final line, which :meth:`CheckpointJournal
+.load` tolerates by stopping at the first undecodable line.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.errors import JournalMismatchError
+from repro.exec.report import QuarantineRecord
+
+#: Journal format version — bump on any incompatible layout change.
+JOURNAL_VERSION = 1
+
+#: Header ``kind`` tag, so an arbitrary JSON-lines file is never mistaken
+#: for a journal.
+JOURNAL_KIND = "repro-exec-journal"
+
+
+def fingerprint_value(value: Any) -> str:
+    """Stable short digest of an arbitrary (usually picklable) value."""
+    try:
+        payload = pickle.dumps(value, protocol=4)
+    except Exception:
+        payload = repr(value).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def run_fingerprint(
+    target: str, chunk_fingerprints: Sequence[str], chunk_size: int
+) -> str:
+    """Digest binding a journal to one (callable, items, chunking) run."""
+    digest = hashlib.sha256()
+    digest.update(target.encode("utf-8"))
+    digest.update(str(chunk_size).encode("utf-8"))
+    for fingerprint in chunk_fingerprints:
+        digest.update(fingerprint.encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed chunk: identity, input fingerprint, and results."""
+
+    chunk_id: int
+    fingerprint: str
+    results: List[Any]
+    quarantined: Tuple[QuarantineRecord, ...] = ()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "chunk_id": self.chunk_id,
+            "fingerprint": self.fingerprint,
+            "payload": base64.b64encode(
+                pickle.dumps(self.results, protocol=4)
+            ).decode("ascii"),
+            "quarantined": [record.to_jsonable() for record in self.quarantined],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "JournalEntry":
+        return cls(
+            chunk_id=int(data["chunk_id"]),
+            fingerprint=str(data["fingerprint"]),
+            results=pickle.loads(base64.b64decode(data["payload"])),
+            quarantined=tuple(
+                QuarantineRecord.from_jsonable(record)
+                for record in data.get("quarantined", ())
+            ),
+        )
+
+
+class CheckpointJournal:
+    """Append-only JSON-lines checkpoint file for one supervised run."""
+
+    def __init__(self, path: "os.PathLike[str] | str") -> None:
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[int, JournalEntry]]:
+        """``(header, entries)`` — tolerant of a truncated final line."""
+        if not self.exists():
+            return None, {}
+        header: Optional[Dict[str, Any]] = None
+        entries: Dict[int, JournalEntry] = {}
+        with io.open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    data = json.loads(stripped)
+                except json.JSONDecodeError:
+                    break  # killed mid-append: everything before is intact
+                if line_no == 0:
+                    header = data
+                    continue
+                try:
+                    entry = JournalEntry.from_jsonable(data)
+                except Exception:
+                    break  # truncated/garbled payload: stop at the damage
+                entries[entry.chunk_id] = entry
+        return header, entries
+
+    # -- writing ---------------------------------------------------------
+
+    def start(self, header: Dict[str, Any]) -> Dict[int, JournalEntry]:
+        """Open the journal for ``header``'s run; return resumable entries.
+
+        A fresh path gets the header written; an existing journal must
+        carry a matching ``(version, kind, run_fingerprint)`` header or a
+        :class:`~repro.exec.errors.JournalMismatchError` is raised.
+        """
+        existing_header, entries = self.load()
+        if existing_header is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._append_line(header)
+            return {}
+        for key in ("version", "kind", "run_fingerprint"):
+            if existing_header.get(key) != header.get(key):
+                raise JournalMismatchError(
+                    f"journal {self.path!r} belongs to a different run: "
+                    f"{key}={existing_header.get(key)!r} != {header.get(key)!r}"
+                )
+        return entries
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably append one completed chunk."""
+        self._append_line(entry.to_jsonable())
+
+    def _append_line(self, data: Dict[str, Any]) -> None:
+        with io.open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -1,0 +1,80 @@
+"""Retry, timeout, and degradation knobs for the supervised pool.
+
+One frozen dataclass holds every tunable the supervisor consults, so a
+policy can be attached to a :class:`repro.core.parallel.SweepRunnerConfig`
+and shipped through pickles unchanged.  The defaults are conservative:
+bounded retries with capped exponential backoff, no wall-clock or
+heartbeat timeout unless the caller opts in (simulator chunks have wildly
+different legitimate durations), and degradation thresholds low enough
+that a genuinely sick pool collapses to inline execution instead of
+burning retries forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Supervision controls for :class:`repro.exec.supervised.SupervisedPool`."""
+
+    #: Attempts per chunk (first run included) before bisection/quarantine.
+    max_attempts: int = 3
+    #: Wall-clock budget per chunk, measured from its first heartbeat.
+    #: ``None`` disables the wall-clock hang check.
+    chunk_timeout_s: Optional[float] = None
+    #: Budget between two heartbeats (one heartbeat is written per item).
+    #: ``None`` disables the stall check.
+    heartbeat_timeout_s: Optional[float] = None
+    #: Supervisor wake-up period while futures are in flight.
+    poll_interval_s: float = 0.05
+    #: Capped exponential backoff between retry waves.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    #: Pool disruptions (worker death or hang kill) before halving workers.
+    degrade_after: int = 2
+    #: Pool disruptions before giving up on processes entirely.
+    inline_after: int = 4
+    #: Quarantine poison items instead of re-raising their exception.
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive: {self.max_attempts}")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError(
+                f"chunk_timeout_s must be positive: {self.chunk_timeout_s}"
+            )
+        if self.heartbeat_timeout_s is not None and self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be positive: {self.heartbeat_timeout_s}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive: {self.poll_interval_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.degrade_after <= 0 or self.inline_after <= 0:
+            raise ValueError("degradation thresholds must be positive")
+        if self.inline_after < self.degrade_after:
+            raise ValueError(
+                "inline_after must be >= degrade_after "
+                f"({self.inline_after} < {self.degrade_after})"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based), capped exponential."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )

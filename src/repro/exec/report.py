@@ -1,0 +1,149 @@
+"""Execution accounting: supervision state machine, quarantine, report.
+
+The supervisor never aborts a sweep for a survivable fault — instead every
+disruption it absorbed is recorded here, so a run that limped home
+degraded is distinguishable from one that sailed.  The report is JSON-able
+end to end because CI uploads it as an artifact next to the checkpoint
+journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Tuple
+
+import json
+
+
+class ExecState(str, Enum):
+    """Supervision state machine (monotone under escalation).
+
+    ``RUNNING -> RETRYING -> DEGRADED -> INLINE``: retries re-submit failed
+    chunks to a healthy pool, degradation shrinks the pool after repeated
+    disruptions, and inline execution is the terminal fallback — the sweep
+    finishes in the supervisor process rather than failing.
+    """
+
+    RUNNING = "running"
+    RETRYING = "retrying"
+    DEGRADED = "degraded"
+    INLINE = "inline"
+
+
+@dataclass(frozen=True)
+class StateTransition:
+    """One supervision state change with its trigger."""
+
+    state: str
+    reason: str
+
+    def to_jsonable(self) -> Dict[str, str]:
+        return {"state": self.state, "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One poison item: isolated by bisection, removed from the sweep."""
+
+    item_index: int
+    chunk_id: int
+    attempts: int
+    error_type: str
+    error_message: str
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "item_index": self.item_index,
+            "chunk_id": self.chunk_id,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "QuarantineRecord":
+        return cls(
+            item_index=int(data["item_index"]),
+            chunk_id=int(data["chunk_id"]),
+            attempts=int(data["attempts"]),
+            error_type=str(data["error_type"]),
+            error_message=str(data["error_message"]),
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """All poison items of one run, in item order."""
+
+    records: Tuple[QuarantineRecord, ...] = ()
+
+    @property
+    def item_indices(self) -> Tuple[int, ...]:
+        return tuple(record.item_index for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        return [record.to_jsonable() for record in self.records]
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the supervisor absorbed while completing a sweep."""
+
+    chunks_total: int = 0
+    #: Chunks completed by this run (quarantine-resolved chunks included).
+    chunks_completed: int = 0
+    #: Chunks restored from the checkpoint journal instead of re-run.
+    chunks_resumed: int = 0
+    #: Chunk re-submissions after a survivable failure.
+    retries: int = 0
+    #: Pool-breaking worker deaths (``BrokenProcessPool`` events).
+    worker_deaths: int = 0
+    #: Pools killed because a chunk hung (wall clock or heartbeat).
+    hang_kills: int = 0
+    #: Bisection probes that crashed their sacrificial single-worker pool.
+    probe_crashes: int = 0
+    #: ``(workers_before, workers_after)`` for every degradation step.
+    degradations: List[Tuple[int, int]] = field(default_factory=list)
+    inline_fallback: bool = False
+    final_workers: int = 0
+    transitions: List[StateTransition] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+
+    @property
+    def state(self) -> str:
+        """Final supervision state reached by the run."""
+        if not self.transitions:
+            return ExecState.RUNNING.value
+        return self.transitions[-1].state
+
+    def record(self, state: ExecState, reason: str) -> None:
+        self.transitions.append(StateTransition(state.value, reason))
+
+    def quarantine_report(self) -> QuarantineReport:
+        return QuarantineReport(
+            tuple(sorted(self.quarantined, key=lambda r: r.item_index))
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "chunks_total": self.chunks_total,
+            "chunks_completed": self.chunks_completed,
+            "chunks_resumed": self.chunks_resumed,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "hang_kills": self.hang_kills,
+            "probe_crashes": self.probe_crashes,
+            "degradations": [list(step) for step in self.degradations],
+            "inline_fallback": self.inline_fallback,
+            "final_workers": self.final_workers,
+            "transitions": [t.to_jsonable() for t in self.transitions],
+            "quarantined": self.quarantine_report().to_jsonable(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)

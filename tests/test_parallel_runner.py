@@ -54,6 +54,11 @@ class TestConfig:
     def test_explicit_worker_count_respected(self):
         assert SweepRunnerConfig(max_workers=3).resolved_workers == 3
 
+    def test_supervision_off_by_default(self):
+        config = SweepRunnerConfig()
+        assert config.supervised is False
+        assert config.policy is None
+
 
 class TestRunnerInline:
     def test_serial_when_parallel_disabled(self):
@@ -71,6 +76,12 @@ class TestRunnerInline:
         runner = ParallelSweepRunner(SweepRunnerConfig(parallel=False))
         with pytest.raises(ValueError, match="three"):
             runner.map(_raise_on_three, [1, 2, 3])
+
+    def test_exception_names_failing_item(self):
+        runner = ParallelSweepRunner(SweepRunnerConfig(parallel=False))
+        with pytest.raises(ValueError) as excinfo:
+            runner.map(_raise_on_three, [9, 3, 1])
+        assert excinfo.value.sweep_item_index == 1
 
 
 class TestRunnerParallel:
@@ -95,6 +106,33 @@ class TestRunnerParallel:
         )
         with pytest.raises(ValueError, match="three"):
             runner.map(_raise_on_three, [1, 2, 3, 4])
+
+    def test_worker_exception_names_failing_item(self):
+        runner = ParallelSweepRunner(
+            SweepRunnerConfig(max_workers=2, chunk_size=2)
+        )
+        with pytest.raises(ValueError, match="three") as excinfo:
+            runner.map(_raise_on_three, [1, 2, 3, 4])
+        assert excinfo.value.sweep_item_index == 2
+
+
+class TestRunnerSupervised:
+    """``supervised=True`` routes through the fault-tolerant layer."""
+
+    def test_results_match_serial(self):
+        runner = ParallelSweepRunner(
+            SweepRunnerConfig(parallel=False, supervised=True, chunk_size=2)
+        )
+        values = list(range(7))
+        assert runner.map(_square, values) == [v * v for v in values]
+        assert runner.last_report is not None
+        assert runner.last_report.chunks_completed == 4
+
+    def test_last_report_reset_between_maps(self):
+        runner = ParallelSweepRunner(SweepRunnerConfig(parallel=False))
+        runner.last_report = object()
+        runner.map(_square, [1])
+        assert runner.last_report is None
 
 
 class TestKeyedCaches:
