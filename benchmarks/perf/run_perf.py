@@ -1,21 +1,29 @@
 #!/usr/bin/env python
-"""Performance benchmark runner: grid evaluation, simulator, SLAM.
+"""Performance benchmark runner: grid evaluation, simulator, SLAM, platform.
 
-Times the three hot paths of the repository and writes/compares baselines:
+Times the hot paths of the repository and writes/compares baselines:
 
 * ``BENCH_sweep.json`` — the Figure 10 design-space grid (3 wheelbases x
   3 cell counts x 29 capacities = 261 points) evaluated by the scalar
   oracle (one ``DroneDesign.evaluate()`` per point) and by the vectorized
-  engine (one ``evaluate_batch`` call).  The speedup between the two is
-  the headline number of the batched engine and is asserted to stay
-  above ``--min-speedup``.
+  engine (one ``evaluate_batch`` call).
 * ``BENCH_sim.json`` — a 30 s closed-loop simulator run of the paper's
   test drone, and a 10-frame SLAM pipeline step.
+* ``BENCH_slam.json`` — global bundle adjustment on a converged MH01 map
+  (the Figure 17 backend workload), scalar oracle vs the vectorized
+  einsum/``np.add.at`` kernels.
+* ``BENCH_platform.json`` — the Figure 15 autopilot+SLAM co-run trace
+  through the microarchitecture simulator, per-access oracle vs the
+  batch trace engine.
+
+Each scalar-vs-batch pair records its speedup; the grid speedup is gated
+by ``--min-speedup`` and the SLAM/platform kernel speedups by
+``--min-kernel-speedup``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py               # write baselines here
-    PYTHONPATH=src python benchmarks/perf/run_perf.py --output-dir out/
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --suite slam
     PYTHONPATH=src python benchmarks/perf/run_perf.py --compare benchmarks/perf
 
 ``--compare DIR`` exits non-zero when any workload's median regresses more
@@ -48,9 +56,12 @@ from repro.core.explorer import (
     FIG10_CELL_COUNTS,
     FIG10_WHEELBASES_MM,
 )
+from repro.platforms.cpu import InOrderCore
+from repro.platforms.workload import autopilot_trace, interleave, slam_trace
 from repro.sim.simulator import DroneModel, FlightSimulator
-from repro.slam.dataset import all_sequence_names
-from repro.slam.pipeline import run_slam
+from repro.slam.bundle_adjustment import global_bundle_adjust
+from repro.slam.dataset import all_sequence_names, cached_sequence
+from repro.slam.pipeline import SlamPipeline, run_slam
 
 #: Simulated duration of the simulator workload (seconds of flight).
 SIM_DURATION_S = 30.0
@@ -58,6 +69,20 @@ SIM_DURATION_S = 30.0
 #: Frames for the SLAM pipeline step — enough to exercise every stage
 #: (tracking, triangulation, local BA) without CI-hostile runtimes.
 SLAM_FRAMES = 10
+
+#: Frames fed to the pipeline before timing bundle adjustment — enough
+#: for several keyframes and a hundred-odd map points (Figure 17's MH01
+#: backend load).
+BA_MAP_FRAMES = 60
+
+#: The Figure 15 co-run: a control-rate autopilot burst preempting a long
+#: SLAM grind on the same core, 2.2M instructions total.
+CORUN_AUTOPILOT_INSTR = 200_000
+CORUN_SLAM_INSTR = 2_000_000
+CORUN_QUANTUM_AUTOPILOT = 1_500
+CORUN_QUANTUM_SLAM = 16_000
+
+SUITES = ("sweep", "sim", "slam", "platform")
 
 
 def _fig10_grid_arrays():
@@ -126,13 +151,84 @@ def slam_workload(runs: int, warmup: int) -> TimingResult:
     return time_callable("slam_pipeline_step", step, warmup=warmup, runs=runs)
 
 
+def slam_ba_workloads(runs: int, warmup: int) -> List[TimingResult]:
+    """Scalar vs batch global bundle adjustment on a converged MH01 map.
+
+    The map is built once and converged with one BA pass beforehand, so
+    every timed invocation does identical work (fixed iteration count,
+    unchanged observation structure) for both engines.
+    """
+    sequence = cached_sequence("MH01")
+    pipeline = SlamPipeline(sequence)
+    for index in range(BA_MAP_FRAMES):
+        pipeline.process_frame(sequence.generate_frame(index))
+    slam_map = pipeline.slam_map
+    global_bundle_adjust(slam_map, sequence.camera)
+
+    def scalar_ba() -> None:
+        global_bundle_adjust(slam_map, sequence.camera, engine="scalar")
+
+    def batch_ba() -> None:
+        global_bundle_adjust(slam_map, sequence.camera, engine="batch")
+
+    return [
+        time_callable("scalar_ba_mh01", scalar_ba, warmup=warmup, runs=runs),
+        time_callable("batch_ba_mh01", batch_ba, warmup=warmup, runs=runs),
+    ]
+
+
+def platform_corun_workloads(runs: int, warmup: int) -> List[TimingResult]:
+    """Scalar vs batch trace engine on the Figure 15 co-run.
+
+    A fresh core is constructed inside each timed run so both engines
+    always start from cold microarchitectural state.
+    """
+    autopilot = autopilot_trace(CORUN_AUTOPILOT_INSTR, seed=6)
+    slam = slam_trace(CORUN_SLAM_INSTR, seed=7)
+    segments = interleave(
+        autopilot, slam, CORUN_QUANTUM_AUTOPILOT, CORUN_QUANTUM_SLAM
+    )
+
+    def scalar_corun() -> None:
+        InOrderCore().run_segments(segments, engine="scalar")
+
+    def batch_corun() -> None:
+        InOrderCore().run_segments(segments, engine="batch")
+
+    return [
+        time_callable("scalar_corun_fig15", scalar_corun,
+                      warmup=warmup, runs=runs),
+        time_callable("batch_corun_fig15", batch_corun,
+                      warmup=warmup, runs=runs),
+    ]
+
+
+def _pair_speedup(results: List[TimingResult], scalar: str, batch: str) -> float:
+    by_name = {r.name: r for r in results}
+    return by_name[scalar].median_s / by_name[batch].median_s
+
+
+def _print_results(results: List[TimingResult]) -> None:
+    for result in results:
+        print(
+            f"  {result.name}: median {result.median_s * 1e3:.3f} ms "
+            f"(min {result.min_s * 1e3:.3f} ms, n={result.runs})"
+        )
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=SUITES + ("all",),
+        default="all",
+        help="which benchmark suite to run (default: all)",
+    )
     parser.add_argument(
         "--output-dir",
         type=Path,
         default=Path(__file__).resolve().parent,
-        help="directory to write BENCH_sweep.json / BENCH_sim.json into",
+        help="directory to write BENCH_*.json files into",
     )
     parser.add_argument(
         "--compare",
@@ -155,82 +251,131 @@ def main(argv: List[str]) -> int:
         help="required batch-vs-scalar grid speedup (0 disables the check)",
     )
     parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=5.0,
+        help="required batch-vs-scalar speedup for the SLAM BA and "
+        "platform co-run workloads (0 disables the check)",
+    )
+    parser.add_argument(
         "--sweep-runs", type=int, default=15, help="timed runs per sweep workload"
     )
     parser.add_argument(
         "--heavy-runs", type=int, default=3, help="timed runs for sim/SLAM workloads"
     )
     args = parser.parse_args(argv)
+    suites = SUITES if args.suite == "all" else (args.suite,)
 
     # Load baselines up front so comparing against the default output
     # directory still sees the *previous* run, not the files written below.
+    baseline_names = tuple(f"BENCH_{suite}.json" for suite in suites)
     baselines = {}
     if args.compare is not None:
-        for name in ("BENCH_sweep.json", "BENCH_sim.json"):
+        for name in baseline_names:
             baseline_path = args.compare / name
             if baseline_path.exists():
                 baselines[name] = load_baseline(baseline_path)
             else:
                 print(f"no baseline {baseline_path}; skipping its compare")
 
-    print("timing design-space grid evaluation (261-point Figure 10 grid)...")
-    sweep_results = sweep_workloads(runs=args.sweep_runs, warmup=5)
-    by_name = {r.name: r for r in sweep_results}
-    speedup = (
-        by_name["scalar_grid_eval"].median_s / by_name["batch_grid_eval"].median_s
-    )
-    for result in sweep_results:
-        print(
-            f"  {result.name}: median {result.median_s * 1e3:.3f} ms "
-            f"(min {result.min_s * 1e3:.3f} ms, n={result.runs})"
-        )
-    print(f"  batch speedup over scalar: {speedup:.1f}x")
+    #: (baseline file name, results, extra metadata) per executed suite.
+    written = []
+    failed = False
 
-    print(f"timing {SIM_DURATION_S:.0f} s simulator run...")
-    sim_result = sim_workload(runs=args.heavy_runs, warmup=1)
-    print(f"  {sim_result.name}: median {sim_result.median_s:.3f} s")
+    if "sweep" in suites:
+        print("timing design-space grid evaluation (261-point Figure 10 grid)...")
+        sweep_results = sweep_workloads(runs=args.sweep_runs, warmup=5)
+        speedup = _pair_speedup(sweep_results, "scalar_grid_eval",
+                                "batch_grid_eval")
+        _print_results(sweep_results)
+        print(f"  batch speedup over scalar: {speedup:.1f}x")
+        written.append((
+            "BENCH_sweep.json",
+            sweep_results,
+            {
+                "speedup": speedup,
+                "grid_points": 261,
+                "wheelbases_mm": list(FIG10_WHEELBASES_MM),
+            },
+        ))
+        if args.min_speedup > 0 and speedup < args.min_speedup:
+            print(
+                f"FAIL: batch speedup {speedup:.1f}x below required "
+                f"{args.min_speedup:.1f}x"
+            )
+            failed = True
 
-    print(f"timing SLAM pipeline step ({SLAM_FRAMES} frames)...")
-    slam_result = slam_workload(runs=args.heavy_runs, warmup=1)
-    print(f"  {slam_result.name}: median {slam_result.median_s:.3f} s")
+    if "sim" in suites:
+        print(f"timing {SIM_DURATION_S:.0f} s simulator run...")
+        sim_result = sim_workload(runs=args.heavy_runs, warmup=1)
+        print(f"  {sim_result.name}: median {sim_result.median_s:.3f} s")
+        print(f"timing SLAM pipeline step ({SLAM_FRAMES} frames)...")
+        slam_result = slam_workload(runs=args.heavy_runs, warmup=1)
+        print(f"  {slam_result.name}: median {slam_result.median_s:.3f} s")
+        written.append((
+            "BENCH_sim.json",
+            [sim_result, slam_result],
+            {
+                "sim_duration_s": SIM_DURATION_S,
+                "slam_frames": SLAM_FRAMES,
+            },
+        ))
+
+    if "slam" in suites:
+        print(f"timing MH01 global bundle adjustment "
+              f"({BA_MAP_FRAMES}-frame map)...")
+        ba_results = slam_ba_workloads(runs=9, warmup=2)
+        ba_speedup = _pair_speedup(ba_results, "scalar_ba_mh01",
+                                   "batch_ba_mh01")
+        _print_results(ba_results)
+        print(f"  batch speedup over scalar: {ba_speedup:.1f}x")
+        written.append((
+            "BENCH_slam.json",
+            ba_results,
+            {"speedup": ba_speedup, "map_frames": BA_MAP_FRAMES},
+        ))
+        if args.min_kernel_speedup > 0 and ba_speedup < args.min_kernel_speedup:
+            print(
+                f"FAIL: BA batch speedup {ba_speedup:.1f}x below required "
+                f"{args.min_kernel_speedup:.1f}x"
+            )
+            failed = True
+
+    if "platform" in suites:
+        instr = CORUN_AUTOPILOT_INSTR + CORUN_SLAM_INSTR
+        print(f"timing Figure 15 co-run trace ({instr / 1e6:.1f}M instructions)...")
+        corun_results = platform_corun_workloads(runs=args.heavy_runs, warmup=1)
+        corun_speedup = _pair_speedup(corun_results, "scalar_corun_fig15",
+                                      "batch_corun_fig15")
+        _print_results(corun_results)
+        print(f"  batch speedup over scalar: {corun_speedup:.1f}x")
+        written.append((
+            "BENCH_platform.json",
+            corun_results,
+            {
+                "speedup": corun_speedup,
+                "autopilot_instructions": CORUN_AUTOPILOT_INSTR,
+                "slam_instructions": CORUN_SLAM_INSTR,
+            },
+        ))
+        if (args.min_kernel_speedup > 0
+                and corun_speedup < args.min_kernel_speedup):
+            print(
+                f"FAIL: co-run batch speedup {corun_speedup:.1f}x below "
+                f"required {args.min_kernel_speedup:.1f}x"
+            )
+            failed = True
 
     args.output_dir.mkdir(parents=True, exist_ok=True)
-    sweep_path = args.output_dir / "BENCH_sweep.json"
-    sim_path = args.output_dir / "BENCH_sim.json"
-    write_baseline(
-        sweep_path,
-        sweep_results,
-        extra={
-            "speedup": speedup,
-            "grid_points": 261,
-            "wheelbases_mm": list(FIG10_WHEELBASES_MM),
-        },
-    )
-    write_baseline(
-        sim_path,
-        [sim_result, slam_result],
-        extra={
-            "sim_duration_s": SIM_DURATION_S,
-            "slam_frames": SLAM_FRAMES,
-        },
-    )
-    print(f"wrote {sweep_path} and {sim_path}")
-
-    failed = False
-    if args.min_speedup > 0 and speedup < args.min_speedup:
-        print(
-            f"FAIL: batch speedup {speedup:.1f}x below required "
-            f"{args.min_speedup:.1f}x"
-        )
-        failed = True
+    for name, results, extra in written:
+        path = args.output_dir / name
+        write_baseline(path, results, extra=extra)
+        print(f"wrote {path}")
 
     if args.compare is not None:
         regressions: List[str] = []
         compared = 0
-        for name, results in (
-            ("BENCH_sweep.json", sweep_results),
-            ("BENCH_sim.json", [sim_result, slam_result]),
-        ):
+        for name, results, _ in written:
             baseline = baselines.get(name)
             if baseline is None:
                 continue

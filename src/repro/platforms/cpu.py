@@ -123,63 +123,80 @@ class InOrderCore:
         self.tlb.stats.reset()
         self.predictor.stats.reset()
 
-    def run_trace(self, context: str, trace: Trace) -> PerfCounters:
+    def run_trace(
+        self, context: str, trace: Trace, engine: str = "batch"
+    ) -> PerfCounters:
         """Execute a whole trace under one context; returns its counters."""
-        return self.run_segments([(context, trace)])[context]
+        return self.run_segments([(context, trace)], engine=engine)[context]
 
     def run_segments(
-        self, segments: List[Tuple[str, Trace]]
+        self, segments: List[Tuple[str, Trace]], engine: str = "batch"
     ) -> Dict[str, PerfCounters]:
-        """Execute scheduled segments (from :func:`workload.interleave`)."""
+        """Execute scheduled segments (from :func:`workload.interleave`).
+
+        ``engine="batch"`` dispatches to :mod:`repro.platforms.trace_engine`
+        (vectorized decode + ordered-structure LRU kernels, counter-exact
+        against the scalar path); ``engine="scalar"`` keeps the
+        per-access oracle.  Unsupported structure geometries and traces
+        with negative addresses run scalar transparently.
+        """
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown engine: {engine!r}")
         if not segments:
             raise ValueError("no segments to execute")
-        penalties = self.penalties
-        import numpy as np
+        if engine == "batch":
+            from repro.platforms import trace_engine
 
-        from repro.platforms.workload import OpKind as _Kind
-
+            if trace_engine.supports_batch(self):
+                counters = trace_engine.run_segments_batch(self, segments)
+                if counters is not None:
+                    return counters
         for context, trace in segments:
             self._switch_to(context)
-            counter = self.counters[context]
-            llc_before = self.llc.stats.accesses
-            llc_miss_before = self.llc.stats.misses
-            instructions = trace.length
-            cycles = instructions * penalties.base_cpi
-            branch_count = 0
-            branch_miss = 0
-            tlb_access = 0
-            tlb_miss = 0
-            # ALU instructions cost only the base CPI; only memory and branch
-            # instructions need sequential modeling.
-            mem_mask = (trace.kinds == _Kind.LOAD) | (trace.kinds == _Kind.STORE)
-            branch_mask = trace.kinds == _Kind.BRANCH
-            l1 = self.l1
-            tlb = self.tlb
-            for address in trace.addresses[mem_mask]:
-                address = int(address)
-                tlb_access += 1
-                if not tlb.access(address):
-                    tlb_miss += 1
-                    cycles += penalties.tlb_miss
-                if not l1.access(address):
-                    cycles += penalties.l1_miss_llc_hit
-                    if l1.last_demand_missed_below:
-                        cycles += penalties.llc_miss_dram
-            predictor = self.predictor
-            branch_pcs = trace.pcs[branch_mask]
-            branch_taken = trace.taken[branch_mask]
-            for pc, taken in zip(branch_pcs, branch_taken):
-                branch_count += 1
-                if not predictor.predict_and_update(int(pc), bool(taken)):
-                    branch_miss += 1
-                    cycles += penalties.branch_mispredict
-            __ = np  # numpy retained for mask construction above
-            counter.instructions += instructions
-            counter.cycles += cycles
-            counter.llc_accesses += self.llc.stats.accesses - llc_before
-            counter.llc_misses += self.llc.stats.misses - llc_miss_before
-            counter.branches += branch_count
-            counter.branch_misses += branch_miss
-            counter.tlb_accesses += tlb_access
-            counter.tlb_misses += tlb_miss
+            self._execute_segment_scalar(context, trace)
         return self.counters
+
+    def _execute_segment_scalar(self, context: str, trace: Trace) -> None:
+        """The per-access oracle: one segment through the scalar structures."""
+        penalties = self.penalties
+        counter = self.counters[context]
+        llc_before = self.llc.stats.accesses
+        llc_miss_before = self.llc.stats.misses
+        instructions = trace.length
+        cycles = instructions * penalties.base_cpi
+        branch_count = 0
+        branch_miss = 0
+        tlb_access = 0
+        tlb_miss = 0
+        # ALU instructions cost only the base CPI; only memory and branch
+        # instructions need sequential modeling.
+        mem_mask = (trace.kinds == OpKind.LOAD) | (trace.kinds == OpKind.STORE)
+        branch_mask = trace.kinds == OpKind.BRANCH
+        l1 = self.l1
+        tlb = self.tlb
+        for address in trace.addresses[mem_mask]:
+            address = int(address)
+            tlb_access += 1
+            if not tlb.access(address):
+                tlb_miss += 1
+                cycles += penalties.tlb_miss
+            if not l1.access(address):
+                cycles += penalties.l1_miss_llc_hit
+                if l1.last_demand_missed_below:
+                    cycles += penalties.llc_miss_dram
+        predictor = self.predictor
+        branch_pcs = trace.pcs[branch_mask]
+        branch_taken = trace.taken[branch_mask]
+        for pc, taken in zip(branch_pcs, branch_taken):
+            branch_count += 1
+            if not predictor.predict_and_update(int(pc), bool(taken)):
+                branch_miss += 1
+                cycles += penalties.branch_mispredict
+        counter.instructions += instructions
+        counter.cycles += cycles
+        counter.llc_accesses += self.llc.stats.accesses - llc_before
+        counter.llc_misses += self.llc.stats.misses - llc_miss_before
+        counter.branches += branch_count
+        counter.branch_misses += branch_miss
+        counter.tlb_accesses += tlb_access
+        counter.tlb_misses += tlb_miss

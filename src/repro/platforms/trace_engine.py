@@ -1,0 +1,460 @@
+"""Batch trace engine: vectorized decode + ordered-structure LRU simulation.
+
+The scalar :class:`InOrderCore` path walks every memory access and branch
+through dict-of-stamps caches — five dict operations and a ``min()`` scan per
+miss.  This engine executes the same segments in three stages:
+
+1. **Vectorized decode (NumPy).**  Per segment: kind masks via a lookup
+   table, line/page extraction via shifts, and *exact run compression* —
+   consecutive accesses to the same cache line are guaranteed L1 hits at MRU
+   position (the next-line prefetch of line ``t`` lands in set ``t+1 mod S``,
+   never ``t``'s own set, for S > 1), so their LRU refreshes are no-ops and
+   they can be dropped from the sequential stream.  Same-page runs are
+   dropped from the TLB stream for the same reason.  Gshare indices are
+   precomputed for a whole segment at once: the global history before branch
+   ``i`` is a windowed dot product of earlier taken bits, i.e. one
+   ``np.convolve`` with weights ``2^0..2^(H-1)``.
+
+2. **Ordered-structure LRU kernels (tight Python loops).**  LRU with
+   timestamp dicts costs a ``min()`` scan per eviction; the batch kernels
+   keep each set in *recency order* instead — a 4-slot list for L1 sets
+   (membership scan of 4), an insertion-ordered dict for LLC sets and the
+   TLB — making hit-refresh and evict-insert O(1).  Sets are pre-filled with
+   unique negative sentinels so they are always "full": eviction needs no
+   length check, and sentinels (which can never match a non-negative line)
+   are naturally evicted first, reproducing the fill-before-evict behaviour
+   of the scalar cache.
+
+3. **State writeback.**  The scalar stamp dicts are rebuilt from the ordered
+   structures (synthetic increasing stamps preserve relative LRU order,
+   which is all the scalar ``min()`` eviction observes), stats objects and
+   use counters advance by the exact scalar increments, and the predictor
+   history is re-folded from the last ``history_bits`` taken bits.
+
+Every counter — instructions, LLC accesses/misses, branches/mispredictions,
+TLB accesses/misses — is integer-exact against the scalar simulator, and
+cycles are bit-equal whenever ``base_cpi`` is integral (penalty sums are
+exact integer adds onto a float; a fractional ``base_cpi`` makes the scalar
+event-ordered float adds round differently, so cycles are then allclose).
+
+Unsupported geometries (non-power-of-two set counts, mismatched line sizes,
+an LLC with a next level, negative addresses) fall back to the scalar path
+in :mod:`repro.platforms.cpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.markers import hot_path
+from repro.platforms.workload import OpKind, Trace
+
+#: kind -> "touches memory" lookup; indexing with the uint8 kinds array
+#: replaces two equality scans.
+_MEM_LUT = np.zeros(4, dtype=bool)
+_MEM_LUT[int(OpKind.LOAD)] = True
+_MEM_LUT[int(OpKind.STORE)] = True
+
+_BRANCH_KIND = int(OpKind.BRANCH)
+
+#: Dict-miss sentinel for ``pop`` (never a valid line/page, which are >= 0).
+_MISSING = object()
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def supports_batch(core) -> bool:
+    """Whether the batch engine can execute this core's structures exactly.
+
+    The kernels assume the RPi-shaped topology: an L1 (optionally with
+    next-line prefetch) in front of a last-level cache with no further
+    levels and no prefetcher, equal line sizes, and power-of-two set counts
+    (set selection via bitmask).  Anything else runs scalar.
+    """
+    l1, llc = core.l1, core.llc
+    return (
+        l1.next_level is llc
+        and llc.next_level is None
+        and not llc.prefetch_next_line
+        and l1.line_bytes == llc.line_bytes
+        and _is_pow2(l1.line_bytes)
+        and _is_pow2(l1.set_count)
+        and _is_pow2(llc.set_count)
+        and _is_pow2(core.tlb.page_bytes)
+    )
+
+
+def _ordered_lines(ways: Dict[int, int], set_index: int, set_count: int) -> List[int]:
+    """A stamp-dict set's resident lines in LRU -> MRU order."""
+    tags = sorted(ways, key=ways.get)
+    return [tag * set_count + set_index for tag in tags]
+
+
+def _build_l1_state(cache) -> List[List[int]]:
+    """L1 sets as always-full recency-ordered lists (sentinels oldest)."""
+    sets = []
+    assoc = cache.associativity
+    for set_index in range(cache.set_count):
+        lines = _ordered_lines(
+            cache._sets.get(set_index, {}), set_index, cache.set_count
+        )
+        pad = [-(slot + 1) for slot in range(assoc - len(lines))]
+        sets.append(pad + lines)
+    return sets
+
+
+def _build_llc_state(cache) -> List[Dict[int, bool]]:
+    """LLC sets as always-full insertion-ordered dicts (sentinels oldest)."""
+    sets = []
+    assoc = cache.associativity
+    for set_index in range(cache.set_count):
+        lines = _ordered_lines(
+            cache._sets.get(set_index, {}), set_index, cache.set_count
+        )
+        ordered: Dict[int, bool] = {}
+        for slot in range(assoc - len(lines)):
+            ordered[-(slot + 1)] = True
+        for line in lines:
+            ordered[line] = True
+        sets.append(ordered)
+    return sets
+
+
+def _build_tlb_state(tlb) -> Dict[int, bool]:
+    pages = sorted(tlb._pages, key=tlb._pages.get)
+    ordered: Dict[int, bool] = {}
+    for slot in range(tlb.entries - len(pages)):
+        ordered[-(slot + 1)] = True
+    for page in pages:
+        ordered[page] = True
+    return ordered
+
+
+def _fresh_tlb_state(entries: int) -> Dict[int, bool]:
+    ordered: Dict[int, bool] = {}
+    for slot in range(entries):
+        ordered[-(slot + 1)] = True
+    return ordered
+
+
+def _writeback_cache_state(cache, sets_ordered, resident_iter) -> None:
+    """Rebuild the scalar stamp dicts from ordered sets.
+
+    Synthetic stamps increase in each set's LRU -> MRU order; only relative
+    per-set order matters to the scalar ``min()`` eviction, and the running
+    stamp can never exceed the (already advanced) use counter because every
+    resident line consumed at least one counter increment on insertion.
+    """
+    new_sets: Dict[int, Dict[int, int]] = {}
+    stamp = 0
+    set_count = cache.set_count
+    for set_index, ordered in enumerate(sets_ordered):
+        ways: Dict[int, int] = {}
+        for line in resident_iter(ordered):
+            if line >= 0:
+                stamp += 1
+                ways[line // set_count] = stamp
+        if ways:
+            new_sets[set_index] = ways
+    cache._sets = new_sets
+
+
+@hot_path
+def _cache_kernel(
+    line_list: List[int],
+    l1_sets: List[List[int]],
+    llc_sets: List[Dict[int, bool]],
+    l1_mask: int,
+    llc_mask: int,
+    prefetch: bool,
+    last_demand: bool,
+) -> Tuple[int, int, int, int, bool]:
+    """Sequential L1+LLC walk over one segment's compressed line stream.
+
+    Returns (l1_misses, demand_llc_misses, prefetch_llc_misses,
+    prefetch_installs, last_demand_missed_below).
+    """
+    missing = _MISSING
+    l1_miss = 0
+    llc_demand_miss = 0
+    llc_prefetch_miss = 0
+    prefetch_installs = 0
+    for line in line_list:
+        ways = l1_sets[line & l1_mask]
+        if line in ways:
+            # Refreshing the MRU way is a no-op; hot loops hammer one line
+            # per set, so this check pays for itself many times over.
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
+            continue
+        l1_miss += 1
+        llc_ways = llc_sets[line & llc_mask]
+        if llc_ways.pop(line, missing) is missing:
+            llc_demand_miss += 1
+            del llc_ways[next(iter(llc_ways))]
+            last_demand = True
+        else:
+            last_demand = False
+        llc_ways[line] = True
+        del ways[0]
+        ways.append(line)
+        if prefetch:
+            next_line = line + 1
+            next_ways = l1_sets[next_line & l1_mask]
+            if next_line not in next_ways:
+                prefetch_installs += 1
+                next_llc = llc_sets[next_line & llc_mask]
+                if next_llc.pop(next_line, missing) is missing:
+                    llc_prefetch_miss += 1
+                    del next_llc[next(iter(next_llc))]
+                next_llc[next_line] = True
+                del next_ways[0]
+                next_ways.append(next_line)
+    return l1_miss, llc_demand_miss, llc_prefetch_miss, prefetch_installs, last_demand
+
+
+@hot_path
+def _tlb_kernel(page_list: List[int], tlb_pages: Dict[int, bool]) -> int:
+    """Fully-associative LRU walk over one segment's compressed page stream."""
+    missing = _MISSING
+    misses = 0
+    for page in page_list:
+        if tlb_pages.pop(page, missing) is missing:
+            misses += 1
+            del tlb_pages[next(iter(tlb_pages))]
+        tlb_pages[page] = True
+    return misses
+
+
+@hot_path
+def _branch_kernel(
+    index_list: List[int], taken_list: List[bool], table: List[int]
+) -> int:
+    """2-bit saturating-counter updates over precomputed gshare indices."""
+    misses = 0
+    for index, taken in zip(index_list, taken_list):
+        counter = table[index]
+        if taken:
+            if counter < 2:
+                misses += 1
+            if counter < 3:
+                table[index] = counter + 1
+        else:
+            if counter >= 2:
+                misses += 1
+            if counter > 0:
+                table[index] = counter - 1
+    return misses
+
+
+def _gshare_indices(
+    pcs: np.ndarray, taken: np.ndarray, history: int, table_bits: int, history_bits: int
+) -> np.ndarray:
+    """Gshare table index of every branch, given the entry global history.
+
+    The history before branch ``i`` is the last ``history_bits`` taken bits,
+    newest in the LSB — a windowed dot product with weights ``2^(j-1)`` over
+    the ``j``-back bit, computed for all ``i`` at once with one convolve.
+    The entry history contributes ``(h << i) & mask`` to the first
+    ``history_bits`` branches before its bits shift out of the window.
+    """
+    count = pcs.shape[0]
+    table_mask = (1 << table_bits) - 1
+    if history_bits == 0:
+        return (pcs >> 2) & table_mask
+    history_mask = (1 << history_bits) - 1
+    weights = (np.int64(1) << np.arange(history_bits, dtype=np.int64))
+    convolved = np.convolve(taken.astype(np.int64), weights)
+    windowed = np.empty(count, dtype=np.int64)
+    windowed[0] = 0
+    windowed[1:] = convolved[: count - 1]
+    if history:
+        carry = min(count, history_bits)
+        shifts = np.arange(carry, dtype=np.int64)
+        windowed[:carry] |= (np.int64(history) << shifts) & history_mask
+    return ((pcs >> 2) ^ (windowed & history_mask)) & table_mask
+
+
+def _fold_history(taken_list: List[bool], history: int, history_bits: int) -> int:
+    """The predictor's global history after a segment's branches."""
+    if history_bits == 0:
+        return 0
+    mask = (1 << history_bits) - 1
+    for taken in taken_list[-history_bits:]:
+        history = ((history << 1) | taken) & mask
+    return history
+
+
+def run_segments_batch(core, segments: List[Tuple[str, Trace]]):
+    """Execute scheduled segments on ``core`` with the batch engine.
+
+    Counter-exact (and structure-state-exact up to equivalent LRU stamps)
+    replacement for the scalar segment loop.  Falls back to the caller's
+    scalar path by returning ``None`` when any segment carries negative
+    addresses or PCs — the scalar loop owns the mid-segment raise semantics.
+    """
+    penalties = core.penalties
+    l1, llc, tlb, predictor = core.l1, core.llc, core.tlb, core.predictor
+
+    decoded = []
+    for context, trace in segments:
+        mem_mask = _MEM_LUT[trace.kinds]
+        addresses = trace.addresses[mem_mask]
+        branch_mask = trace.kinds == _BRANCH_KIND
+        branch_pcs = trace.pcs[branch_mask]
+        if (addresses.size and int(addresses.min()) < 0) or (
+            branch_pcs.size and int(branch_pcs.min()) < 0
+        ):
+            return None
+        decoded.append(
+            (context, trace.length, addresses, branch_pcs, trace.taken[branch_mask])
+        )
+
+    line_shift = l1.line_bytes.bit_length() - 1
+    page_shift = tlb.page_bytes.bit_length() - 1
+    l1_mask = l1.set_count - 1
+    llc_mask = llc.set_count - 1
+    prefetch = l1.prefetch_next_line
+    # Run compression drops repeat-line accesses as guaranteed MRU hits; with
+    # a single L1 set the prefetch of line t lands in t's own set and the
+    # repeat access's refresh is no longer a no-op, so compression is only
+    # exact for multi-set L1s (or with the prefetcher off).
+    compress_lines = l1.set_count > 1 or not prefetch
+
+    l1_sets = _build_l1_state(l1)
+    llc_sets = _build_llc_state(llc)
+    tlb_pages = _build_tlb_state(tlb)
+    history = predictor._history
+    table = predictor._table
+    last_demand = l1.last_demand_missed_below
+
+    l1_access_total = 0
+    l1_miss_total = 0
+    llc_access_total = 0
+    llc_miss_total = 0
+    tlb_access_total = 0
+    tlb_miss_total = 0
+    branch_total = 0
+    branch_miss_total = 0
+    install_total = 0
+
+    for context, instructions, addresses, branch_pcs, branch_taken in decoded:
+        previous = core._current_context
+        core._switch_to(context)
+        if (
+            context != previous
+            and previous is not None
+            and core.flush_on_context_switch
+        ):
+            # _switch_to flushed the real TLB and branch history; mirror the
+            # flush in the batch state.
+            tlb_pages = _fresh_tlb_state(tlb.entries)
+            history = 0
+        counter = core.counters[context]
+
+        mem_count = addresses.shape[0]
+        if mem_count:
+            lines = addresses >> line_shift
+            if compress_lines and mem_count > 1:
+                keep = np.empty(mem_count, dtype=bool)
+                keep[0] = True
+                np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+                line_list = lines[keep].tolist()
+            else:
+                line_list = lines.tolist()
+            pages = addresses >> page_shift
+            if mem_count > 1:
+                keep_pages = np.empty(mem_count, dtype=bool)
+                keep_pages[0] = True
+                np.not_equal(pages[1:], pages[:-1], out=keep_pages[1:])
+                page_list = pages[keep_pages].tolist()
+            else:
+                page_list = pages.tolist()
+        else:
+            line_list = []
+            page_list = []
+
+        tlb_misses = _tlb_kernel(page_list, tlb_pages)
+        (
+            l1_misses,
+            llc_demand_misses,
+            llc_prefetch_misses,
+            installs,
+            last_demand,
+        ) = _cache_kernel(
+            line_list, l1_sets, llc_sets, l1_mask, llc_mask, prefetch, last_demand
+        )
+
+        branch_count = branch_pcs.shape[0]
+        if branch_count:
+            indices = _gshare_indices(
+                branch_pcs,
+                branch_taken,
+                history,
+                predictor.table_bits,
+                predictor.history_bits,
+            )
+            taken_list = branch_taken.tolist()
+            branch_misses = _branch_kernel(indices.tolist(), taken_list, table)
+            history = _fold_history(taken_list, history, predictor.history_bits)
+        else:
+            branch_misses = 0
+
+        llc_accesses = l1_misses + installs
+        llc_misses = llc_demand_misses + llc_prefetch_misses
+        counter.instructions += instructions
+        counter.cycles += instructions * penalties.base_cpi + (
+            tlb_misses * penalties.tlb_miss
+            + l1_misses * penalties.l1_miss_llc_hit
+            + llc_demand_misses * penalties.llc_miss_dram
+            + branch_misses * penalties.branch_mispredict
+        )
+        counter.llc_accesses += llc_accesses
+        counter.llc_misses += llc_misses
+        counter.branches += branch_count
+        counter.branch_misses += branch_misses
+        counter.tlb_accesses += mem_count
+        counter.tlb_misses += tlb_misses
+
+        l1_access_total += mem_count
+        l1_miss_total += l1_misses
+        llc_access_total += llc_accesses
+        llc_miss_total += llc_misses
+        tlb_access_total += mem_count
+        tlb_miss_total += tlb_misses
+        branch_total += branch_count
+        branch_miss_total += branch_misses
+        install_total += installs
+
+    l1.stats.accesses += l1_access_total
+    l1.stats.misses += l1_miss_total
+    llc.stats.accesses += llc_access_total
+    llc.stats.misses += llc_miss_total
+    tlb.stats.accesses += tlb_access_total
+    tlb.stats.misses += tlb_miss_total
+    predictor.stats.branches += branch_total
+    predictor.stats.mispredictions += branch_miss_total
+
+    l1._use_counter += l1_access_total + install_total
+    llc._use_counter += llc_access_total
+    tlb._use_counter += tlb_access_total
+    l1.last_demand_missed_below = last_demand
+    if llc_miss_total:
+        llc.last_demand_missed_below = False
+    predictor._history = history
+
+    _writeback_cache_state(l1, l1_sets, iter)
+    _writeback_cache_state(llc, llc_sets, iter)
+    new_pages: Dict[int, int] = {}
+    stamp = 0
+    for page in tlb_pages:
+        if page >= 0:
+            stamp += 1
+            new_pages[page] = stamp
+    tlb._pages = new_pages
+    return core.counters

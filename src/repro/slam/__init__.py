@@ -10,12 +10,15 @@ from repro.slam.bundle_adjustment import (
 from repro.slam.dataset import (
     EUROC_SEQUENCES,
     FRAME_RATE_HZ,
+    CachedSequence,
     CameraModel,
     Difficulty,
     Frame,
     SequenceSpec,
     SyntheticSequence,
     all_sequence_names,
+    cached_sequence,
+    clear_sequence_cache,
     load_sequence,
 )
 from repro.slam.features import (
@@ -68,7 +71,10 @@ __all__ = [
     "Frame",
     "SequenceSpec",
     "SyntheticSequence",
+    "CachedSequence",
     "all_sequence_names",
+    "cached_sequence",
+    "clear_sequence_cache",
     "load_sequence",
     "FeatureSet",
     "OrbExtractor",

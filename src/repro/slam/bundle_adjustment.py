@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -90,11 +90,80 @@ class BaResult:
         return self.final_rms_px <= self.initial_rms_px + 1e-9
 
 
-def _collect_residuals(
+def _pair_arrays(
+    keyframes: List[Keyframe],
+    points: Dict[int, MapPoint],
+    point_index: Optional[Dict[int, int]] = None,
+):
+    """Stack (keyframe, observation) pairs in scalar iteration order.
+
+    Keyframe-major, observation-dict-minor — the order both scalar loops
+    (:func:`_collect_residuals` and the per-keyframe resection gather) walk.
+    Returns (landmarks, pixels, positions, cos_yaw, sin_yaw, rows) arrays;
+    ``rows`` maps each pair to ``point_index`` (or -1 when not supplied).
+    Pairs whose point id is absent from ``points`` are skipped, like the
+    scalar ``points.get`` guard.
+    """
+    landmarks = []
+    pixels = []
+    positions = []
+    cos_yaw = []
+    sin_yaw = []
+    rows = []
+    for keyframe in keyframes:
+        c = math.cos(keyframe.yaw_rad)
+        s = math.sin(keyframe.yaw_rad)
+        for point_id, pixel in keyframe.observations.items():
+            point = points.get(point_id)
+            if point is None:
+                continue
+            landmarks.append(point.position_m)
+            pixels.append(pixel)
+            positions.append(keyframe.position_m)
+            cos_yaw.append(c)
+            sin_yaw.append(s)
+            rows.append(point_index[point_id] if point_index else -1)
+    count = len(landmarks)
+    return (
+        np.asarray(landmarks, dtype=float).reshape(count, 3),
+        np.asarray(pixels, dtype=float).reshape(count, 2),
+        np.asarray(positions, dtype=float).reshape(count, 3),
+        np.asarray(cos_yaw, dtype=float),
+        np.asarray(sin_yaw, dtype=float),
+        np.asarray(rows, dtype=np.int64),
+    )
+
+
+def _collect_residuals_batch(
     keyframes: List[Keyframe],
     points: Dict[int, MapPoint],
     camera: CameraModel,
 ) -> float:
+    from repro.slam import kernels
+
+    landmarks, pixels, positions, cos_yaw, sin_yaw, _ = _pair_arrays(
+        keyframes, points
+    )
+    cam = kernels.camera_points_posed(landmarks, positions, cos_yaw, sin_yaw)
+    valid = cam[:, 2] > kernels.MIN_CAMERA_Z
+    idx = np.nonzero(valid)[0]
+    if idx.size == 0:
+        raise ValueError("no valid residuals in the BA problem")
+    u, v = kernels.project_points(cam[idx], camera)
+    du = u - pixels[idx, 0]
+    dv = v - pixels[idx, 1]
+    total_sq = float(np.add.reduce(du * du + dv * dv))
+    return math.sqrt(total_sq / idx.size)
+
+
+def _collect_residuals(
+    keyframes: List[Keyframe],
+    points: Dict[int, MapPoint],
+    camera: CameraModel,
+    engine: str = "batch",
+) -> float:
+    if engine == "batch":
+        return _collect_residuals_batch(keyframes, points, camera)
     total_sq = 0.0
     count = 0
     for keyframe in keyframes:
@@ -161,6 +230,94 @@ def _refine_landmark(
     return used * (2 * 3 * 3 * 2 + 60) + 27
 
 
+def _refine_landmarks_batch(
+    point_list: List[MapPoint],
+    keyframes: List[Keyframe],
+    camera: CameraModel,
+) -> int:
+    """One batched intersection pass over every landmark; returns ops.
+
+    Pairs are stacked (point-major, keyframe-minor) — the scalar
+    :func:`_refine_landmark` accumulation order — and the per-point 3x3
+    normal equations are built with ``np.add.at`` and solved as one batched
+    ``np.linalg.solve``.  Landmark updates are mutually independent (poses
+    are fixed during intersection), so updating all points from the
+    pass-start positions matches the scalar sequential sweep.
+    """
+    from repro.slam import kernels
+
+    kf_cos = [math.cos(k.yaw_rad) for k in keyframes]
+    kf_sin = [math.sin(k.yaw_rad) for k in keyframes]
+    landmarks = []
+    pixels = []
+    positions = []
+    cos_yaw = []
+    sin_yaw = []
+    rows = []
+    for point_row, point in enumerate(point_list):
+        for kf_index, keyframe in enumerate(keyframes):
+            pixel = keyframe.observations.get(point.point_id)
+            if pixel is None:
+                continue
+            landmarks.append(point.position_m)
+            pixels.append(pixel)
+            positions.append(keyframe.position_m)
+            cos_yaw.append(kf_cos[kf_index])
+            sin_yaw.append(kf_sin[kf_index])
+            rows.append(point_row)
+    pair_count = len(landmarks)
+    if pair_count == 0:
+        return 0
+    idx, residuals, jacobians = kernels.landmark_blocks(
+        np.asarray(landmarks, dtype=float).reshape(pair_count, 3),
+        np.asarray(positions, dtype=float).reshape(pair_count, 3),
+        np.asarray(cos_yaw, dtype=float),
+        np.asarray(sin_yaw, dtype=float),
+        np.asarray(pixels, dtype=float).reshape(pair_count, 2),
+        camera,
+    )
+    point_count = len(point_list)
+    rows_valid = np.asarray(rows, dtype=np.int64)[idx]
+    block_jtj = np.einsum("mia,mib->mab", jacobians, jacobians)
+    block_jtr = np.einsum("mia,mi->ma", jacobians, residuals)
+    normals = np.zeros((point_count, 3, 3))
+    rhs = np.zeros((point_count, 3))
+    # np.add.at accumulates in pair order: per point, keyframe-minor — the
+    # scalar loop's order; sums still round differently (allclose contract).
+    np.add.at(normals, rows_valid, block_jtj)
+    np.add.at(rhs, rows_valid, -block_jtr)
+    used = np.bincount(rows_valid, minlength=point_count)
+    refine = used >= 2
+    refine_rows = np.nonzero(refine)[0]
+    if refine_rows.size == 0:
+        return 0
+    systems = normals[refine_rows] + 1e-9 * np.eye(3)
+    try:
+        deltas = np.linalg.solve(systems, rhs[refine_rows][..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        # Batched solve rejects the whole stack if any one system is
+        # singular; fall back to per-point solves so only the singular
+        # landmarks are skipped (scalar semantics).
+        deltas = np.full((refine_rows.size, 3), np.nan)
+        for slot in range(refine_rows.size):
+            try:
+                deltas[slot] = np.linalg.solve(systems[slot], rhs[refine_rows[slot]])
+            except np.linalg.LinAlgError:
+                continue
+    operations = 0
+    for slot, point_row in enumerate(refine_rows):
+        delta = deltas[slot]
+        if not np.all(np.isfinite(delta)):
+            continue  # singular or corrupted solve: never write NaN
+        norm = float(np.linalg.norm(delta))
+        if norm > 0.5:
+            delta = delta * (0.5 / norm)
+        point = point_list[point_row]
+        point.position_m = point.position_m + delta
+        operations += int(used[point_row]) * (2 * 3 * 3 * 2 + 60) + 27
+    return operations
+
+
 def _landmark_jacobian(
     landmark_m: np.ndarray,
     position_m: np.ndarray,
@@ -188,8 +345,19 @@ def bundle_adjust(
     iterations: int = 3,
     fix_first_pose: bool = True,
     canonical_iterations: int = None,
+    engine: str = "batch",
 ) -> BaResult:
-    """Resection-intersection BA over the given keyframes and their points."""
+    """Resection-intersection BA over the given keyframes and their points.
+
+    ``engine="batch"`` runs the vectorized kernels (stacked residuals,
+    einsum normal equations, batched landmark solves); ``engine="scalar"``
+    is the retained per-observation oracle.  Validity decisions, skip masks,
+    used counts, iteration counts, and operation counts agree exactly;
+    accumulated floats (poses, landmark positions, RMS) agree to allclose —
+    the accumulation-order contract documented in :mod:`repro.slam.kernels`.
+    """
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
     if not keyframes:
         raise ValueError("bundle adjustment needs at least one keyframe")
     if iterations <= 0:
@@ -197,7 +365,7 @@ def bundle_adjust(
     points = {
         p.point_id: p for p in slam_map.points_seen_by(keyframes)
     }
-    initial_rms = _collect_residuals(keyframes, points, camera)
+    initial_rms = _collect_residuals(keyframes, points, camera, engine=engine)
     operations = 0
     residual_count = sum(len(k.observations) for k in keyframes)
     for _ in range(iterations):
@@ -221,6 +389,7 @@ def bundle_adjust(
                     keyframe.yaw_rad,
                     camera,
                     max_iterations=2,
+                    engine=engine,
                 )
             except TrackingLostError:
                 continue
@@ -234,9 +403,14 @@ def bundle_adjust(
             )
             operations += result.operations
         # Intersection: refine each landmark against fixed poses.
-        for point in points.values():
-            operations += _refine_landmark(point, keyframes, camera)
-    final_rms = _collect_residuals(keyframes, points, camera)
+        if engine == "batch":
+            operations += _refine_landmarks_batch(
+                list(points.values()), keyframes, camera
+            )
+        else:
+            for point in points.values():
+                operations += _refine_landmark(point, keyframes, camera)
+    final_rms = _collect_residuals(keyframes, points, camera, engine=engine)
     if not (math.isfinite(initial_rms) and math.isfinite(final_rms)):
         # Numerical sentinel: a NaN/Inf residual means the map is corrupted;
         # callers holding a checkpoint roll the map back.
@@ -265,6 +439,7 @@ def local_bundle_adjust(
     camera: CameraModel,
     window: int = LOCAL_BA_WINDOW,
     iterations: int = 2,
+    engine: str = "batch",
 ) -> BaResult:
     """Local BA over the most recent ``window`` keyframes."""
     keyframes = slam_map.recent_keyframes(window)
@@ -274,6 +449,7 @@ def local_bundle_adjust(
         camera,
         iterations=iterations,
         canonical_iterations=CANONICAL_LOCAL_BA_ITERATIONS,
+        engine=engine,
     )
 
 
@@ -281,6 +457,7 @@ def global_bundle_adjust(
     slam_map: SlamMap,
     camera: CameraModel,
     iterations: int = 3,
+    engine: str = "batch",
 ) -> BaResult:
     """Global BA over every keyframe (the loop-closure refinement)."""
     keyframes = [slam_map.keyframes[i] for i in sorted(slam_map.keyframes)]
@@ -290,4 +467,5 @@ def global_bundle_adjust(
         camera,
         iterations=iterations,
         canonical_iterations=CANONICAL_GLOBAL_BA_ITERATIONS,
+        engine=engine,
     )

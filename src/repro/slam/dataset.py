@@ -232,6 +232,104 @@ def load_sequence(name: str, seed: int = 11) -> SyntheticSequence:
     return SyntheticSequence(spec=EUROC_SEQUENCES[key], seed=seed)
 
 
+class CachedSequence:
+    """Frame-memoizing view of a :class:`SyntheticSequence`.
+
+    ``SyntheticSequence.generate_frame`` consumes the sequence's stateful
+    RNG, so frame ``i`` is only reproducible when frames 0..i-1 were drawn
+    first.  This wrapper pins that canonical order: frames are generated
+    lazily 0, 1, 2, ... regardless of the access pattern, cached, and handed
+    out as defensive copies (callers — e.g. perception fault injectors —
+    mutate frames in place).  Descriptor queries are restricted to the
+    noise-free form, which is a pure function of the landmark id and does
+    not touch the RNG.
+    """
+
+    def __init__(self, sequence: SyntheticSequence):
+        self._sequence = sequence
+        self._frames: List[Frame] = []
+
+    @property
+    def spec(self) -> SequenceSpec:
+        return self._sequence.spec
+
+    @property
+    def seed(self) -> int:
+        return self._sequence.seed
+
+    @property
+    def camera(self) -> CameraModel:
+        return self._sequence.camera
+
+    @property
+    def landmarks_m(self) -> np.ndarray:
+        return self._sequence.landmarks_m
+
+    @property
+    def frame_count(self) -> int:
+        return self._sequence.frame_count
+
+    def true_pose(self, t: float) -> Tuple[np.ndarray, float]:
+        return self._sequence.true_pose(t)
+
+    def descriptor_for(self, landmark_id: int, noise_bits: int = 0) -> np.ndarray:
+        if noise_bits > 0:
+            raise ValueError(
+                "noisy descriptors consume the sequence RNG and would break "
+                "frame memoization; use load_sequence() for noisy queries"
+            )
+        return self._sequence.descriptor_for(landmark_id)
+
+    def generate_frame(self, index: int) -> Frame:
+        if not 0 <= index < self.frame_count:
+            raise ValueError(
+                f"frame index {index} out of range [0, {self.frame_count})"
+            )
+        while len(self._frames) <= index:
+            self._frames.append(
+                self._sequence.generate_frame(len(self._frames))
+            )
+        frame = self._frames[index]
+        return Frame(
+            index=frame.index,
+            timestamp_s=frame.timestamp_s,
+            true_position_m=frame.true_position_m.copy(),
+            true_yaw_rad=frame.true_yaw_rad,
+            landmark_ids=frame.landmark_ids.copy(),
+            keypoints_px=frame.keypoints_px.copy(),
+            descriptors=frame.descriptors.copy(),
+        )
+
+    def frames(self) -> Iterator[Frame]:
+        for index in range(self.frame_count):
+            yield self.generate_frame(index)
+
+
+#: (name, seed)-keyed memo for :func:`cached_sequence`.
+_SEQUENCE_CACHE: Dict[Tuple[str, int], CachedSequence] = {}
+
+
+def cached_sequence(name: str, seed: int = 11) -> CachedSequence:
+    """Memoized :func:`load_sequence` (mirrors ``cached_catalog``).
+
+    Benches and tests re-run the same sequences constantly; regenerating
+    hundreds of frames of projected landmarks each time dominated their
+    setup cost.  Frames come out as defensive copies, so sharing the cache
+    across callers is safe even for mutating consumers.
+    """
+    key = (name.strip().upper(), seed)
+    sequence = _SEQUENCE_CACHE.get(key)
+    if sequence is None:
+        sequence = CachedSequence(load_sequence(name, seed=seed))
+        _SEQUENCE_CACHE[key] = sequence
+    return sequence
+
+
+def clear_sequence_cache() -> None:
+    """Drop all memoized sequences (test isolation hook)."""
+    _SEQUENCE_CACHE.clear()
+
+
 def all_sequence_names() -> List[str]:
     """The eleven sequence names in the paper's Figure 17 order."""
     return list(EUROC_SEQUENCES.keys())

@@ -40,19 +40,27 @@ class FeatureSet:
 
 @dataclass
 class OrbExtractor:
-    """Budgeted, grid-bucketed feature selection."""
+    """Budgeted, grid-bucketed feature selection.
+
+    ``engine`` selects the bucketing implementation: ``"batch"`` (vectorized
+    argsort/lexsort round-robin) or ``"scalar"`` (the per-keypoint dict
+    oracle).  Both return the identical keep set.
+    """
 
     max_features: int = 400
     grid_cols: int = 8
     grid_rows: int = 6
     image_width: float = 752.0
     image_height: float = 480.0
+    engine: str = "batch"
 
     def __post_init__(self) -> None:
         if self.max_features <= 0:
             raise ValueError(f"max_features must be positive: {self.max_features}")
         if self.grid_cols <= 0 or self.grid_rows <= 0:
             raise ValueError("grid dimensions must be positive")
+        if self.engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown engine: {self.engine!r}")
 
     def extract(self, frame: Frame) -> FeatureSet:
         """Select up to ``max_features`` keypoints with spatial spread."""
@@ -80,6 +88,12 @@ class OrbExtractor:
 
     def _bucketed_selection(self, keypoints_px: np.ndarray) -> np.ndarray:
         """Round-robin across grid cells so features cover the image."""
+        cells = self._grid_cells(keypoints_px)
+        if self.engine == "batch":
+            return self._bucketed_selection_batch(cells)
+        return self._bucketed_selection_scalar(cells)
+
+    def _grid_cells(self, keypoints_px: np.ndarray) -> np.ndarray:
         cols = np.clip(
             (keypoints_px[:, 0] / self.image_width * self.grid_cols).astype(int),
             0,
@@ -90,7 +104,24 @@ class OrbExtractor:
             0,
             self.grid_rows - 1,
         )
-        cells = rows * self.grid_cols + cols
+        return rows * self.grid_cols + cols
+
+    def _bucketed_selection_batch(self, cells: np.ndarray) -> np.ndarray:
+        """Vectorized round-robin: rank keypoints (depth, cell) and cut.
+
+        The scalar walk visits buckets depth 0 across ascending cells, then
+        depth 1, ... — i.e. keypoints ordered lexicographically by
+        (within-cell rank, cell).  ``lexsort`` reproduces that order, so the
+        first ``max_features`` entries are the identical keep set.
+        """
+        from repro.slam.kernels import bucketed_ranks
+
+        order, depth = bucketed_ranks(cells)
+        round_robin = np.lexsort((cells[order], depth))
+        selected = order[round_robin[: self.max_features]]
+        return np.sort(selected).astype(int)
+
+    def _bucketed_selection_scalar(self, cells: np.ndarray) -> np.ndarray:
         order = np.argsort(cells, kind="stable")
         buckets = {}
         for idx in order:
@@ -119,16 +150,25 @@ def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
 
 
 def hamming_distance_matrix(
-    descriptors_a: np.ndarray, descriptors_b: np.ndarray
+    descriptors_a: np.ndarray, descriptors_b: np.ndarray, engine: str = "batch"
 ) -> Tuple[np.ndarray, int]:
     """All-pairs Hamming distances plus the operation count.
 
     Returns (distances [A, B] uint16, ops).  This is the brute-force matcher
-    kernel; FPGA front ends pipeline exactly this computation.
+    kernel; FPGA front ends pipeline exactly this computation.  The default
+    ``"batch"`` engine uses the packed popcount-LUT kernel; ``"scalar"``
+    keeps the unpackbits oracle.  Both are bit-for-bit identical.
     """
     if descriptors_a.ndim != 2 or descriptors_b.ndim != 2:
         raise ValueError("descriptor arrays must be 2-D")
-    xor = np.bitwise_xor(descriptors_a[:, None, :], descriptors_b[None, :, :])
-    distances = np.unpackbits(xor, axis=2).sum(axis=2).astype(np.uint16)
+    if engine == "batch":
+        from repro.slam.kernels import hamming_matrix
+
+        distances = hamming_matrix(descriptors_a, descriptors_b)
+    elif engine == "scalar":
+        xor = np.bitwise_xor(descriptors_a[:, None, :], descriptors_b[None, :, :])
+        distances = np.unpackbits(xor, axis=2).sum(axis=2).astype(np.uint16)
+    else:
+        raise ValueError(f"unknown engine: {engine!r}")
     operations = int(descriptors_a.shape[0] * descriptors_b.shape[0] * 256)
     return distances, operations

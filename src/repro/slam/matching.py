@@ -32,13 +32,25 @@ class MatchResult:
         return len(self.matches)
 
 
-def match_features(a: FeatureSet, b: FeatureSet) -> MatchResult:
-    """Brute-force Hamming matching with ratio and cross checks."""
+def match_features(a: FeatureSet, b: FeatureSet, engine: str = "batch") -> MatchResult:
+    """Brute-force Hamming matching with ratio and cross checks.
+
+    ``engine="batch"`` vectorizes best/second-best selection and the cross
+    check; ``engine="scalar"`` is the per-row oracle.  All decisions are on
+    integer distances, so the engines agree bit-for-bit.
+    """
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
     if a.count == 0 or b.count == 0:
         return MatchResult(matches=[], operations=0)
-    distances, operations = hamming_distance_matrix(a.descriptors, b.descriptors)
+    distances, operations = hamming_distance_matrix(
+        a.descriptors, b.descriptors, engine=engine
+    )
+    if engine == "batch":
+        matches = _accept_mutual_matches(distances)
+        return MatchResult(matches=matches, operations=operations)
     best_b = np.argmin(distances, axis=1)
-    matches: List[Match] = []
+    matches = []
     for index_a, index_b in enumerate(best_b):
         row = distances[index_a]
         best = int(row[index_b])
@@ -56,21 +68,59 @@ def match_features(a: FeatureSet, b: FeatureSet) -> MatchResult:
     return MatchResult(matches=matches, operations=operations)
 
 
+def _accept_mutual_matches(distances: np.ndarray) -> List[Match]:
+    """Vectorized distance/ratio/cross-check acceptance over a distance matrix.
+
+    Mirrors the scalar loop decision-for-decision: ``argmin`` picks the same
+    first-minimum candidate, ``partition`` the same second-best, and the
+    cross check compares the same column argmins.
+    """
+    rows = np.arange(distances.shape[0])
+    best_b = np.argmin(distances, axis=1)
+    best = distances[rows, best_b].astype(np.int64)
+    accept = best <= MAX_MATCH_DISTANCE
+    if distances.shape[1] > 1:
+        second = np.partition(distances, 1, axis=1)[:, 1].astype(np.int64)
+        accept &= ~((second > 0) & (best > RATIO_TEST * second))
+    col_best = np.argmin(distances, axis=0)
+    accept &= col_best[best_b] == rows
+    return [
+        Match(index_a=int(i), index_b=int(best_b[i]), distance=int(best[i]))
+        for i in np.nonzero(accept)[0]
+    ]
+
+
 def match_against_map(
     features: FeatureSet,
     map_descriptors: np.ndarray,
     map_landmark_ids: np.ndarray,
+    engine: str = "batch",
 ) -> MatchResult:
     """Match a frame's features against stored map-point descriptors."""
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
     if map_descriptors.shape[0] != map_landmark_ids.shape[0]:
         raise ValueError("map descriptors and ids must align")
     if features.count == 0 or map_descriptors.shape[0] == 0:
         return MatchResult(matches=[], operations=0)
     distances, operations = hamming_distance_matrix(
-        features.descriptors, map_descriptors
+        features.descriptors, map_descriptors, engine=engine
     )
-    matches: List[Match] = []
     best_map = np.argmin(distances, axis=1)
+    if engine == "batch":
+        rows = np.arange(distances.shape[0])
+        best = distances[rows, best_map].astype(np.int64)
+        accept = best <= MAX_MATCH_DISTANCE
+        matches = [
+            Match(
+                index_a=int(i),
+                index_b=int(map_landmark_ids[best_map[i]]),
+                distance=int(best[i]),
+            )
+            for i in np.nonzero(accept)[0]
+        ]
+        return MatchResult(matches=matches, operations=operations)
+    matches = []
     for index_f, index_m in enumerate(best_map):
         best = int(distances[index_f, index_m])
         if best > MAX_MATCH_DISTANCE:
@@ -88,6 +138,7 @@ def match_by_projection(
     pose,
     camera,
     radius_px: float = 18.0,
+    engine: str = "batch",
 ) -> MatchResult:
     """Projection-guided matching — ORB-SLAM's tracking-time strategy.
 
@@ -103,6 +154,8 @@ def match_by_projection(
     from repro.slam.features import hamming_distance
     from repro.slam.tracking import camera_point
 
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
     if radius_px <= 0:
         raise ValueError(f"search radius must be positive, got {radius_px}")
     position, yaw = pose
@@ -110,6 +163,10 @@ def match_by_projection(
     operations = 0
     if features.count == 0:
         return MatchResult(matches=[], operations=0)
+    if engine == "batch":
+        return _match_by_projection_batch(
+            features, list(map_points), position, yaw, camera, radius_px
+        )
     keypoints = features.keypoints_px
     taken = set()
     for point in map_points:
@@ -141,6 +198,74 @@ def match_by_projection(
             matches.append(
                 Match(index_a=best_index, index_b=point.point_id,
                       distance=best_distance)
+            )
+    return MatchResult(matches=matches, operations=operations)
+
+
+def _match_by_projection_batch(
+    features: FeatureSet,
+    map_points: List,
+    position,
+    yaw: float,
+    camera,
+    radius_px: float,
+) -> MatchResult:
+    """Vectorized projection-guided matching.
+
+    Projections, visibility tests, and Hamming distances are batched; the
+    greedy taken-set walk stays a Python loop over the in-view points (its
+    sequential semantics are what make the scalar matcher's output order
+    deterministic).  Decisions replicate the scalar loop bit-for-bit: the
+    same candidate windows, the same first-minimum tie-break, the same
+    operation count.
+    """
+    from repro.slam.kernels import camera_points, hamming_matrix, project_points
+
+    if not map_points:
+        return MatchResult(matches=[], operations=0)
+    positions = np.stack([point.position_m for point in map_points])
+    cam = camera_points(positions, position, yaw)
+    # ~(z < 0.2), not (z >= 0.2): NaN z must fall through to the projection
+    # (and its +20 ops) exactly like the scalar loop's `if cam[2] < 0.2`.
+    front = np.nonzero(~(cam[:, 2] < 0.2))[0]
+    if front.size == 0:
+        return MatchResult(matches=[], operations=0)
+    u, v = project_points(cam[front], camera)
+    in_view = (
+        (0.0 <= u) & (u < camera.width) & (0.0 <= v) & (v < camera.height)
+    )
+    operations = 20 * int(front.size)
+    visible = front[in_view]
+    if visible.size == 0:
+        return MatchResult(matches=[], operations=operations)
+    u = u[in_view]
+    v = v[in_view]
+    keypoints = features.keypoints_px
+    nearby_mask = (
+        np.abs(keypoints[None, :, 0] - u[:, None]) <= radius_px
+    ) & (np.abs(keypoints[None, :, 1] - v[:, None]) <= radius_px)
+    descriptors = np.stack([map_points[i].descriptor for i in visible])
+    distances = hamming_matrix(descriptors, features.descriptors)
+    operations += 2 * keypoints.shape[0] * int(visible.size)
+    taken = np.zeros(keypoints.shape[0], dtype=bool)
+    matches: List[Match] = []
+    for row, point_index in enumerate(visible):
+        candidates = np.nonzero(nearby_mask[row] & ~taken)[0]
+        if candidates.size == 0:
+            continue
+        operations += 256 * int(candidates.size)
+        row_distances = distances[row, candidates]
+        best_slot = int(np.argmin(row_distances))
+        best_distance = int(row_distances[best_slot])
+        if best_distance <= MAX_MATCH_DISTANCE:
+            best_index = int(candidates[best_slot])
+            taken[best_index] = True
+            matches.append(
+                Match(
+                    index_a=best_index,
+                    index_b=map_points[point_index].point_id,
+                    distance=best_distance,
+                )
             )
     return MatchResult(matches=matches, operations=operations)
 

@@ -445,9 +445,14 @@ class SlamPipeline:
 
 
 def run_slam(sequence_name: str, max_frames: Optional[int] = None, seed: int = 11) -> SlamRunResult:
-    """Convenience wrapper: load a sequence and run the pipeline."""
-    from repro.slam.dataset import load_sequence
+    """Convenience wrapper: load a sequence and run the pipeline.
 
-    sequence = load_sequence(sequence_name, seed=seed)
+    Uses the frame-memoizing sequence cache: the pipeline consumes frames in
+    canonical 0..N order, so repeated runs (benches, resilience ladders)
+    see bit-identical frames without regenerating them.
+    """
+    from repro.slam.dataset import cached_sequence
+
+    sequence = cached_sequence(sequence_name, seed=seed)
     pipeline = SlamPipeline(sequence)
     return pipeline.run(max_frames=max_frames)

@@ -98,14 +98,36 @@ def track_pose(
     camera: CameraModel,
     max_iterations: int = 8,
     min_correspondences: int = 8,
+    engine: str = "batch",
 ) -> TrackingResult:
-    """Gauss-Newton motion-only pose refinement with Huber weighting."""
+    """Gauss-Newton motion-only pose refinement with Huber weighting.
+
+    ``engine="batch"`` stacks all correspondences per iteration and builds
+    the normal equations with einsum; ``engine="scalar"`` is the retained
+    per-observation oracle.  Per-correspondence values (residuals, validity,
+    Jacobians) are bit-identical between engines; the accumulated normal
+    equations differ only in float summation order, so poses agree to
+    ~1e-12 while iteration counts, inlier counts, raised errors, and
+    operation counts agree exactly (see :mod:`repro.slam.kernels`).
+    """
+    if engine not in ("batch", "scalar"):
+        raise ValueError(f"unknown engine: {engine!r}")
     if len(landmarks_m) != len(pixels):
         raise ValueError("landmarks and pixels must align")
     if len(landmarks_m) < min_correspondences:
         raise TrackingLostError(
             f"only {len(landmarks_m)} correspondences; "
             f"need {min_correspondences}"
+        )
+    if engine == "batch":
+        return _track_pose_batch(
+            landmarks_m,
+            pixels,
+            initial_position_m,
+            initial_yaw_rad,
+            camera,
+            max_iterations,
+            min_correspondences,
         )
     position = np.asarray(initial_position_m, dtype=float).copy()
     yaw = float(initial_yaw_rad)
@@ -136,6 +158,69 @@ def track_pose(
             raise TrackingLostError(
                 f"only {used} usable correspondences at iteration {iteration}"
             )
+        try:
+            delta = np.linalg.solve(normal + 1e-9 * np.eye(4), rhs)
+        except np.linalg.LinAlgError as error:
+            raise TrackingLostError(f"singular normal equations: {error}")
+        operations += 4**3
+        position += delta[0:3]
+        yaw += float(delta[3])
+        rms = math.sqrt(total_sq / used)
+        iterations_run = iteration + 1
+        if float(np.linalg.norm(delta)) < 1e-6:
+            break
+    return TrackingResult(
+        position_m=position,
+        yaw_rad=yaw,
+        inliers=used,
+        final_rms_px=rms,
+        iterations=iterations_run,
+        operations=operations,
+    )
+
+
+def _track_pose_batch(
+    landmarks_m: List[np.ndarray],
+    pixels: List[Tuple[float, float]],
+    initial_position_m: np.ndarray,
+    initial_yaw_rad: float,
+    camera: CameraModel,
+    max_iterations: int,
+    min_correspondences: int,
+) -> TrackingResult:
+    """Batch Gauss-Newton inner loop (see :func:`track_pose`)."""
+    from repro.slam.kernels import pose_blocks
+
+    landmarks = np.asarray(landmarks_m, dtype=float).reshape(len(landmarks_m), 3)
+    pixel_array = np.asarray(pixels, dtype=float).reshape(len(pixels), 2)
+    position = np.asarray(initial_position_m, dtype=float).copy()
+    yaw = float(initial_yaw_rad)
+    operations = 0
+    rms = float("inf")
+    iterations_run = 0
+    used = 0
+    for iteration in range(max_iterations):
+        _, residuals, jacobians = pose_blocks(
+            landmarks, pixel_array, position, yaw, camera
+        )
+        used = residuals.shape[0]
+        if used < min_correspondences:
+            raise TrackingLostError(
+                f"only {used} usable correspondences at iteration {iteration}"
+            )
+        errors = np.sqrt(np.add.reduce(residuals * residuals, axis=1))
+        weights = np.ones(used)
+        # ~(e <= delta), not (e > delta): a NaN error must take the scalar
+        # else-branch (NaN weight), not silently weight 1.0.
+        heavy = ~(errors <= HUBER_DELTA_PX)
+        weights[heavy] = HUBER_DELTA_PX / errors[heavy]
+        # Accumulation order: einsum reduces over the observation axis; the
+        # pairing differs from the scalar one-at-a-time loop, so the normal
+        # equations agree to allclose, not bitwise.
+        normal = np.einsum("n,nia,nib->ab", weights, jacobians, jacobians)
+        rhs = -np.einsum("n,nia,ni->a", weights, jacobians, residuals)
+        total_sq = float(np.einsum("n,n->", weights, errors * errors))
+        operations += used * (2 * 4 * 4 * 2 + 5 * 16)
         try:
             delta = np.linalg.solve(normal + 1e-9 * np.eye(4), rhs)
         except np.linalg.LinAlgError as error:
