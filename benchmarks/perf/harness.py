@@ -83,6 +83,46 @@ def time_callable(
     )
 
 
+#: ``np`` module attributes counted by :func:`count_array_constructions`.
+#: These are the Python-level constructors library code reaches for; C-level
+#: temporaries from ufuncs/operators are invisible here, which is the point —
+#: the preallocation discipline is about *named* per-tick constructions.
+_CONSTRUCTOR_NAMES = ("array", "zeros", "empty", "ones", "full")
+
+
+def count_array_constructions(fn: Callable[[], object]) -> int:
+    """Number of Python-level NumPy array constructions during ``fn()``.
+
+    Temporarily wraps ``np.array``/``np.zeros``/``np.empty``/``np.ones``/
+    ``np.full`` with counting shims, calls ``fn`` once, and restores the
+    originals.  Used by the allocation-budget checks: a steady-state hot
+    loop that preallocates its scratch should construct a small, *fixed*
+    number of arrays per tick regardless of how long it runs or how many
+    ensemble lanes it carries.
+    """
+    import numpy as np
+
+    count = 0
+    originals = {name: getattr(np, name) for name in _CONSTRUCTOR_NAMES}
+
+    def _counting(original: Callable) -> Callable:
+        def shim(*args: object, **kwargs: object) -> object:
+            nonlocal count
+            count += 1
+            return original(*args, **kwargs)
+
+        return shim
+
+    for name, original in originals.items():
+        setattr(np, name, _counting(original))
+    try:
+        fn()
+    finally:
+        for name, original in originals.items():
+            setattr(np, name, original)
+    return count
+
+
 def write_baseline(
     path: Path,
     results: List[TimingResult],

@@ -15,10 +15,17 @@ Times the hot paths of the repository and writes/compares baselines:
 * ``BENCH_platform.json`` — the Figure 15 autopilot+SLAM co-run trace
   through the microarchitecture simulator, per-access oracle vs the
   batch trace engine.
+* ``BENCH_ensemble.json`` (``--suite ensemble`` only) — a 64-trial
+  fault-free chaos campaign (30 s at 500 Hz), serial ``run_trial`` loop
+  vs the vectorized :func:`repro.chaos.ensemble.run_trials_ensemble`
+  group, with cross-engine fingerprint, ``verify_replay``, and
+  steady-state allocation-budget checks.
 
 Each scalar-vs-batch pair records its speedup; the grid speedup is gated
-by ``--min-speedup`` and the SLAM/platform kernel speedups by
-``--min-kernel-speedup``.
+by ``--min-speedup``, the SLAM/platform kernel speedups by
+``--min-kernel-speedup``, and the campaign speedup by
+``--min-ensemble-speedup``.  Every baseline written is also mirrored to
+the repository root.
 
 Usage::
 
@@ -33,9 +40,10 @@ than ``--tolerance`` (default 25%) against the baselines found in DIR.
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -43,11 +51,15 @@ from harness import (
     DEFAULT_TOLERANCE,
     TimingResult,
     compare_to_baseline,
+    count_array_constructions,
     load_baseline,
     time_callable,
     write_baseline,
 )
 
+from repro.chaos.campaign import CampaignConfig, TrialSpec
+from repro.chaos.ensemble import run_trials_ensemble
+from repro.chaos.runner import TrialResult, run_trial, verify_replay
 from repro.core.batch import evaluate_batch
 from repro.core.design import DroneDesign
 from repro.core.equations import InfeasibleDesignError
@@ -56,8 +68,11 @@ from repro.core.explorer import (
     FIG10_CELL_COUNTS,
     FIG10_WHEELBASES_MM,
 )
+from repro.faults.scenarios import DEFAULT_MODEL
+from repro.faults.schedule import FaultSchedule
 from repro.platforms.cpu import InOrderCore
 from repro.platforms.workload import autopilot_trace, interleave, slam_trace
+from repro.sim.ensemble import EnsembleFlightSimulator
 from repro.sim.simulator import DroneModel, FlightSimulator
 from repro.slam.bundle_adjustment import global_bundle_adjust
 from repro.slam.dataset import all_sequence_names, cached_sequence
@@ -81,6 +96,26 @@ CORUN_AUTOPILOT_INSTR = 200_000
 CORUN_SLAM_INSTR = 2_000_000
 CORUN_QUANTUM_AUTOPILOT = 1_500
 CORUN_QUANTUM_SLAM = 16_000
+
+#: The ensemble campaign benchmark: a fault-free 64-trial chaos campaign at
+#: the simulator's top physics rate, serial scalar loop vs one vectorized
+#: ensemble group.  Fault-free isolates the physics-stepping speedup — no
+#: trial defects mid-flight, so the ensemble carries all 64 lanes end to end.
+ENSEMBLE_TRIALS = 64
+ENSEMBLE_DURATION_S = 30.0
+ENSEMBLE_PHYSICS_RATE_HZ = 500.0
+#: Ensemble trials replayed through the scalar engine by ``verify_replay``
+#: (each replay re-flies a full 30 s trial, so sample rather than sweep).
+ENSEMBLE_REPLAY_SAMPLES = 2
+
+#: Steady-state construction budgets (Python-level NumPy constructions per
+#: physics step, see ``harness.count_array_constructions``).  Measured: the
+#: scalar step constructs ~4.7 arrays/step and a 16-lane ensemble ~8.7 —
+#: per-tick scratch is preallocated, so the budgets are fixed ceilings,
+#: not per-lane ones.
+SCALAR_STEP_CONSTRUCTION_BUDGET = 6.0
+ENSEMBLE_STEP_CONSTRUCTION_BUDGET = 12.0
+ALLOC_CHECK_LANES = 16
 
 SUITES = ("sweep", "sim", "slam", "platform")
 
@@ -203,6 +238,116 @@ def platform_corun_workloads(runs: int, warmup: int) -> List[TimingResult]:
     ]
 
 
+def _ensemble_specs() -> List[TrialSpec]:
+    """Hand-built fault-free trial specs: physics stepping is the workload."""
+    return [
+        TrialSpec(
+            campaign_seed=2021,
+            trial_index=index,
+            link_seed=1000 + index,
+            schedule=FaultSchedule(),
+            use_ekf=False,
+            heartbeats=False,
+            offload=False,
+        )
+        for index in range(ENSEMBLE_TRIALS)
+    ]
+
+
+def _ensemble_config() -> CampaignConfig:
+    return CampaignConfig(
+        campaign_seed=2021,
+        trials=ENSEMBLE_TRIALS,
+        duration_s=ENSEMBLE_DURATION_S,
+        physics_rate_hz=ENSEMBLE_PHYSICS_RATE_HZ,
+    )
+
+
+def ensemble_workloads(
+    runs: int, warmup: int
+) -> Tuple[List[TimingResult], List[TrialResult], List[TrialResult]]:
+    """Serial scalar campaign vs one 64-lane ensemble group.
+
+    Both engines fly the same specs; the trial results of the final timed
+    invocation are returned so the caller can check the engines' campaign
+    fingerprints against each other (and replay a sample through
+    ``verify_replay``).
+    """
+    specs = _ensemble_specs()
+    config = _ensemble_config()
+    scalar_results: List[TrialResult] = []
+    ensemble_results: List[TrialResult] = []
+
+    def scalar_campaign() -> None:
+        scalar_results[:] = [run_trial(spec, config) for spec in specs]
+
+    def ensemble_campaign() -> None:
+        ensemble_results[:] = run_trials_ensemble(specs, config)
+
+    results = [
+        time_callable(
+            "scalar_campaign_64x30s", scalar_campaign, warmup=warmup, runs=runs
+        ),
+        time_callable(
+            "ensemble_campaign_64x30s", ensemble_campaign,
+            warmup=warmup, runs=runs,
+        ),
+    ]
+    return results, scalar_results, ensemble_results
+
+
+def ensemble_allocation_check() -> List[str]:
+    """Steady-state construction-budget check on the preallocated step paths.
+
+    Runs the scalar simulator and a 16-lane ensemble into steady state,
+    then counts Python-level NumPy array constructions over one simulated
+    second.  A leak of even one construction per step blows the budget by
+    an order of magnitude, so the fixed ceilings are tight in practice
+    while staying robust to control-tick phase.
+    """
+    failures: List[str] = []
+    steps = int(ENSEMBLE_PHYSICS_RATE_HZ)
+    model = DroneModel(**DEFAULT_MODEL)
+    target = np.array([0.0, 0.0, 5.0])
+
+    sim = FlightSimulator(model, physics_rate_hz=ENSEMBLE_PHYSICS_RATE_HZ)
+    sim.goto(target)
+    sim.run_for(2.0)
+    scalar_count = count_array_constructions(lambda: sim.run_for(1.0))
+    scalar_budget = SCALAR_STEP_CONSTRUCTION_BUDGET * steps
+    print(
+        f"  scalar step constructions: {scalar_count} over {steps} steps "
+        f"({scalar_count / steps:.2f}/step, budget "
+        f"{SCALAR_STEP_CONSTRUCTION_BUDGET:.0f}/step)"
+    )
+    if scalar_count > scalar_budget:
+        failures.append(
+            f"scalar sim.step allocates {scalar_count} arrays over {steps} "
+            f"steps, budget {scalar_budget:.0f}"
+        )
+
+    ensemble = EnsembleFlightSimulator(
+        model, ALLOC_CHECK_LANES, physics_rate_hz=ENSEMBLE_PHYSICS_RATE_HZ
+    )
+    for lane in range(ALLOC_CHECK_LANES):
+        ensemble.set_lane_target(lane, target)
+    ensemble.run_for(2.0)
+    ensemble_count = count_array_constructions(lambda: ensemble.run_for(1.0))
+    ensemble_budget = ENSEMBLE_STEP_CONSTRUCTION_BUDGET * steps
+    print(
+        f"  {ALLOC_CHECK_LANES}-lane ensemble constructions: "
+        f"{ensemble_count} over {steps} steps "
+        f"({ensemble_count / steps:.2f}/step, budget "
+        f"{ENSEMBLE_STEP_CONSTRUCTION_BUDGET:.0f}/step)"
+    )
+    if ensemble_count > ensemble_budget:
+        failures.append(
+            f"{ALLOC_CHECK_LANES}-lane ensemble allocates {ensemble_count} "
+            f"arrays over {steps} steps, budget {ensemble_budget:.0f}"
+        )
+    return failures
+
+
 def _pair_speedup(results: List[TimingResult], scalar: str, batch: str) -> float:
     by_name = {r.name: r for r in results}
     return by_name[scalar].median_s / by_name[batch].median_s
@@ -220,9 +365,11 @@ def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=SUITES + ("all",),
+        choices=SUITES + ("ensemble", "all"),
         default="all",
-        help="which benchmark suite to run (default: all)",
+        help="which benchmark suite to run (default: all).  The heavy "
+        "'ensemble' campaign suite must be requested explicitly; 'all' "
+        "covers the original four.",
     )
     parser.add_argument(
         "--output-dir",
@@ -256,6 +403,13 @@ def main(argv: List[str]) -> int:
         default=5.0,
         help="required batch-vs-scalar speedup for the SLAM BA and "
         "platform co-run workloads (0 disables the check)",
+    )
+    parser.add_argument(
+        "--min-ensemble-speedup",
+        type=float,
+        default=5.0,
+        help="required ensemble-vs-serial campaign speedup "
+        "(0 disables the check)",
     )
     parser.add_argument(
         "--sweep-runs", type=int, default=15, help="timed runs per sweep workload"
@@ -366,11 +520,88 @@ def main(argv: List[str]) -> int:
             )
             failed = True
 
+    if "ensemble" in suites:
+        # One timed run per engine: each invocation is a full 64-trial
+        # campaign (minutes of work for the serial engine), long enough to
+        # swamp scheduler noise without median-of-N.
+        print(
+            f"timing {ENSEMBLE_TRIALS}-trial fault-free campaign "
+            f"({ENSEMBLE_DURATION_S:.0f} s at "
+            f"{ENSEMBLE_PHYSICS_RATE_HZ:.0f} Hz), serial vs ensemble..."
+        )
+        ensemble_results, scalar_trials, ensemble_trials = ensemble_workloads(
+            runs=1, warmup=0
+        )
+        ensemble_speedup = _pair_speedup(
+            ensemble_results, "scalar_campaign_64x30s",
+            "ensemble_campaign_64x30s",
+        )
+        _print_results(ensemble_results)
+        print(f"  ensemble speedup over serial scalar: {ensemble_speedup:.1f}x")
+
+        fingerprints_equal = [s.metrics() for s in scalar_trials] == [
+            e.metrics() for e in ensemble_trials
+        ]
+        print(
+            f"  campaign fingerprints ensemble==scalar: {fingerprints_equal} "
+            f"({len(ensemble_trials)} trials)"
+        )
+        if not fingerprints_equal:
+            print("FAIL: ensemble campaign fingerprints diverge from scalar")
+            failed = True
+        config = _ensemble_config()
+        replays_ok = all(
+            verify_replay(result, config)
+            for result in ensemble_trials[:ENSEMBLE_REPLAY_SAMPLES]
+        )
+        print(
+            f"  verify_replay on {ENSEMBLE_REPLAY_SAMPLES} sampled ensemble "
+            f"trials: {replays_ok}"
+        )
+        if not replays_ok:
+            print("FAIL: ensemble trial does not replay bit-for-bit")
+            failed = True
+
+        print("checking steady-state allocation budgets...")
+        alloc_failures = ensemble_allocation_check()
+        for line in alloc_failures:
+            print(f"FAIL: {line}")
+            failed = True
+
+        written.append((
+            "BENCH_ensemble.json",
+            ensemble_results,
+            {
+                "speedup": ensemble_speedup,
+                "trials": ENSEMBLE_TRIALS,
+                "duration_s": ENSEMBLE_DURATION_S,
+                "physics_rate_hz": ENSEMBLE_PHYSICS_RATE_HZ,
+                "fingerprints_equal": fingerprints_equal,
+                "verify_replay_samples": ENSEMBLE_REPLAY_SAMPLES,
+                "verify_replay_ok": replays_ok,
+                "allocation_budget_ok": not alloc_failures,
+            },
+        ))
+        if (args.min_ensemble_speedup > 0
+                and ensemble_speedup < args.min_ensemble_speedup):
+            print(
+                f"FAIL: ensemble speedup {ensemble_speedup:.1f}x below "
+                f"required {args.min_ensemble_speedup:.1f}x"
+            )
+            failed = True
+
     args.output_dir.mkdir(parents=True, exist_ok=True)
+    repo_root = Path(__file__).resolve().parents[2]
     for name, results, extra in written:
         path = args.output_dir / name
         write_baseline(path, results, extra=extra)
         print(f"wrote {path}")
+        # Mirror every baseline to the repository root so the latest
+        # numbers are one `cat BENCH_*.json` away from a fresh checkout.
+        root_copy = repo_root / name
+        if root_copy != path.resolve():
+            shutil.copyfile(path, root_copy)
+            print(f"copied {name} -> {root_copy}")
 
     if args.compare is not None:
         regressions: List[str] = []

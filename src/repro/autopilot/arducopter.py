@@ -227,6 +227,19 @@ class Autopilot:
         """Run the autopilot and simulator forward by ``duration_s``."""
         if duration_s <= 0:
             raise ValueError(f"duration must be positive: {duration_s}")
+        self._update_pre()
+        self.sim.run_for(duration_s)
+        self._update_post()
+
+    def _update_pre(self) -> None:
+        """The control-cycle work that precedes the physics burst.
+
+        Split out of :meth:`update` so the ensemble campaign driver can run
+        every lane's link/failsafe/mission logic first, step all lanes'
+        physics together in one vectorized ``run_for``, then finish each
+        lane with :meth:`_update_post` — preserving the exact per-trial
+        sequence of the scalar loop.
+        """
         self.link.advance_to(self.sim.time_s)
         self.downlink.advance_to(self.sim.time_s)
         self._process_link()
@@ -238,7 +251,9 @@ class Autopilot:
         self._fence_check()
         if self.mode is FlightMode.AUTO and self.armed:
             self._advance_mission()
-        self.sim.run_for(duration_s)
+
+    def _update_post(self) -> None:
+        """The control-cycle work that follows the physics burst."""
         self._send_state_report()
 
     def _process_link(self) -> None:

@@ -35,6 +35,7 @@ from repro.chaos.invariants import (
     Violation,
     invariant_catalog,
 )
+from repro.chaos.ensemble import LaneHarness, run_trials_ensemble
 from repro.chaos.recorder import BlackBoxTrace, FlightRecorder, TickRecord
 from repro.chaos.runner import (
     CampaignRun,
@@ -71,7 +72,9 @@ __all__ = [
     "invariant_catalog",
     "BlackBoxTrace",
     "FlightRecorder",
+    "LaneHarness",
     "TickRecord",
+    "run_trials_ensemble",
     "CampaignRun",
     "TrialResult",
     "VERDICT_CRASH",

@@ -273,9 +273,56 @@ def _run_trial_item(item: Tuple[TrialSpec, CampaignConfig]) -> TrialResult:
     return run_trial(spec, config)
 
 
+#: Default number of trials stepped together per ensemble group.
+DEFAULT_ENSEMBLE_WIDTH = 16
+
+
+def _ensemble_items(
+    specs: List[TrialSpec], config: CampaignConfig, width: int
+) -> List[Tuple[Tuple[Tuple[int, TrialSpec], ...], CampaignConfig]]:
+    """Chunk the campaign into ensemble groups of at most ``width`` lanes.
+
+    Groups are uniform in ``use_ekf`` (the one per-ensemble constant) and
+    carry their trials' original indices so results can be restored to
+    trial order after a parallel map.
+    """
+    items = []
+    for flag in (False, True):
+        indexed = [
+            (index, spec)
+            for index, spec in enumerate(specs)
+            if spec.use_ekf is flag
+        ]
+        for start in range(0, len(indexed), width):
+            items.append((tuple(indexed[start : start + width]), config))
+    return items
+
+
+def _run_ensemble_item(
+    item: Tuple[Tuple[Tuple[int, TrialSpec], ...], CampaignConfig],
+) -> List[Tuple[int, TrialResult]]:
+    """Module-level worker entry point: fly one ensemble group."""
+    from repro.chaos.ensemble import run_trials_ensemble
+
+    indexed, config = item
+    results = run_trials_ensemble([spec for _, spec in indexed], config)
+    return [(index, result) for (index, _), result in zip(indexed, results)]
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ("scalar", "ensemble"):
+        raise ValueError(
+            f"unknown campaign engine {engine!r} "
+            "(expected 'scalar' or 'ensemble')"
+        )
+
+
 def run_campaign(
     config: CampaignConfig,
     runner_config: Optional[SweepRunnerConfig] = None,
+    *,
+    engine: str = "scalar",
+    ensemble_width: int = DEFAULT_ENSEMBLE_WIDTH,
 ) -> List[TrialResult]:
     """Fly the whole campaign; results come back in trial order.
 
@@ -285,14 +332,31 @@ def run_campaign(
     :class:`repro.exec.errors.WorkerCrashError` (via the runner) rather
     than an opaque ``BrokenProcessPool``; for a campaign that must
     *survive* such faults, use :func:`run_campaign_supervised`.
+
+    ``engine="ensemble"`` flies trials in vectorized groups of up to
+    ``ensemble_width`` through :func:`repro.chaos.ensemble
+    .run_trials_ensemble` — each parallel work item steps a whole group
+    instead of one trial.  Results are fingerprint-identical to the
+    scalar engine (the contract :func:`verify_replay` checks), just
+    faster.
     """
+    _check_engine(engine)
     specs = generate_campaign(config)
     runner = ParallelSweepRunner(
         runner_config
         if runner_config is not None
         else SweepRunnerConfig(parallel=False)
     )
-    return runner.map(_run_trial_item, [(spec, config) for spec in specs])
+    if engine == "scalar":
+        return runner.map(_run_trial_item, [(spec, config) for spec in specs])
+    batches = runner.map(
+        _run_ensemble_item, _ensemble_items(specs, config, ensemble_width)
+    )
+    ordered: List[Optional[TrialResult]] = [None] * len(specs)
+    for batch in batches:
+        for index, result in batch:
+            ordered[index] = result
+    return [result for result in ordered if result is not None]
 
 
 @dataclass
@@ -311,6 +375,9 @@ def run_campaign_supervised(
     runner_config: Optional[SweepRunnerConfig] = None,
     journal_path: Optional["os.PathLike[str] | str"] = None,
     policy: Optional[ExecutionPolicy] = None,
+    *,
+    engine: str = "scalar",
+    ensemble_width: int = DEFAULT_ENSEMBLE_WIDTH,
 ) -> CampaignRun:
     """Fly the campaign under the fault-tolerant execution layer.
 
@@ -322,7 +389,14 @@ def run_campaign_supervised(
     identical to an uninterrupted run (trial chunks are regenerated from
     ``(campaign_seed, trial_index)``, so the journal fingerprint check
     guarantees the resumed chunks belong to this exact campaign).
+
+    With ``engine="ensemble"`` each supervised work item is a whole
+    ensemble group of up to ``ensemble_width`` trials, so retry and
+    quarantine operate at group granularity: a group that poisons every
+    retry is quarantined together, and its trials are absent from
+    :attr:`CampaignRun.results`.
     """
+    _check_engine(engine)
     specs = generate_campaign(config)
     base = (
         runner_config
@@ -333,12 +407,26 @@ def run_campaign_supervised(
         base, supervised=True, policy=policy if policy is not None else base.policy
     )
     runner = ParallelSweepRunner(supervised_config)
-    raw = runner.map(
-        _run_trial_item,
-        [(spec, config) for spec in specs],
-        journal=journal_path,
-    )
-    results = [result for result in raw if isinstance(result, TrialResult)]
+    if engine == "scalar":
+        raw = runner.map(
+            _run_trial_item,
+            [(spec, config) for spec in specs],
+            journal=journal_path,
+        )
+        results = [result for result in raw if isinstance(result, TrialResult)]
+    else:
+        raw = runner.map(
+            _run_ensemble_item,
+            _ensemble_items(specs, config, ensemble_width),
+            journal=journal_path,
+        )
+        ordered: List[Optional[TrialResult]] = [None] * len(specs)
+        for batch in raw:
+            if not isinstance(batch, list):
+                continue  # quarantined group placeholder
+            for index, result in batch:
+                ordered[index] = result
+        results = [result for result in ordered if result is not None]
     report = runner.last_report
     quarantined = tuple(report.quarantined) if report is not None else ()
     return CampaignRun(

@@ -23,6 +23,21 @@ from repro.physics import constants
 
 STATE_SIZE = 9  # [px py pz vx vy vz roll pitch yaw]
 
+# Read-only constants of the correction path, hoisted out of the
+# 100-200 Hz update loop (each was rebuilt per call before).
+_IDENTITY = np.eye(STATE_SIZE)
+_IDENTITY.setflags(write=False)
+_H_GPS = np.zeros((2, STATE_SIZE))
+_H_GPS[0, 0] = 1.0
+_H_GPS[1, 1] = 1.0
+_H_GPS.setflags(write=False)
+_H_BARO = np.zeros((1, STATE_SIZE))
+_H_BARO[0, 2] = 1.0
+_H_BARO.setflags(write=False)
+_H_MAG = np.zeros((1, STATE_SIZE))
+_H_MAG[0, 8] = 1.0
+_H_MAG.setflags(write=False)
+
 
 @dataclass
 class InsEkf:
@@ -41,6 +56,20 @@ class InsEkf:
     flops: int = field(default=0)
     predictions: int = field(default=0)
     corrections: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        # Keyed caches for the prediction jacobian/process matrices and the
+        # measurement-noise matrices: dt and the noise densities are fixed
+        # in flight, so these rebuild once instead of every filter tick.
+        self._predict_key: Optional[tuple] = None
+        self._jacobian = np.empty(0)
+        self._process = np.empty(0)
+        self._gps_noise_key: Optional[float] = None
+        self._gps_r = np.empty(0)
+        self._baro_noise_key: Optional[float] = None
+        self._baro_r = np.empty(0)
+        self._mag_noise_key: Optional[float] = None
+        self._mag_r = np.empty(0)
 
     @property
     def position_m(self) -> np.ndarray:
@@ -80,13 +109,19 @@ class InsEkf:
         self.state[6:9] += _euler_rates(roll, pitch, gyro) * dt
         self.state[8] = _wrap_angle(self.state[8])
 
-        jacobian = np.eye(STATE_SIZE)
-        jacobian[0:3, 3:6] = np.eye(3) * dt
-        process = np.zeros((STATE_SIZE, STATE_SIZE))
-        process[3:6, 3:6] = np.eye(3) * (self.accel_noise * dt) ** 2
-        process[6:9, 6:9] = np.eye(3) * (self.gyro_noise * dt) ** 2
-        process[0:3, 0:3] = np.eye(3) * (0.5 * self.accel_noise * dt * dt) ** 2
-        self.covariance = jacobian @ self.covariance @ jacobian.T + process
+        key = (dt, self.accel_noise, self.gyro_noise)
+        if self._predict_key != key:
+            jacobian = np.eye(STATE_SIZE)
+            jacobian[0:3, 3:6] = np.eye(3) * dt
+            process = np.zeros((STATE_SIZE, STATE_SIZE))
+            process[3:6, 3:6] = np.eye(3) * (self.accel_noise * dt) ** 2
+            process[6:9, 6:9] = np.eye(3) * (self.gyro_noise * dt) ** 2
+            process[0:3, 0:3] = np.eye(3) * (0.5 * self.accel_noise * dt * dt) ** 2
+            self._jacobian = jacobian
+            self._process = process
+            self._predict_key = key
+        jacobian = self._jacobian
+        self.covariance = jacobian @ self.covariance @ jacobian.T + self._process
         if not np.all(np.isfinite(self.state)):
             raise FloatingPointError("EKF state non-finite after prediction")
         self.flops += 2 * STATE_SIZE**3 + 60
@@ -98,29 +133,27 @@ class InsEkf:
         measurement = np.asarray(position_m, dtype=float)
         if measurement.shape != (3,):
             raise ValueError("GPS measurement must be a 3-vector")
-        h = np.zeros((2, STATE_SIZE))
-        h[0, 0] = 1.0
-        h[1, 1] = 1.0
-        self._correct(measurement[0:2], h, np.eye(2) * self.gps_noise_m**2)
+        if self._gps_noise_key != self.gps_noise_m:
+            self._gps_r = np.eye(2) * self.gps_noise_m**2
+            self._gps_noise_key = self.gps_noise_m
+        self._correct(measurement[0:2], _H_GPS, self._gps_r)
 
     @hot_path
     def update_barometer(self, altitude_m: float) -> None:
         """Altitude correction (barometer runs at 10-20 Hz, Table 2a)."""
-        h = np.zeros((1, STATE_SIZE))
-        h[0, 2] = 1.0
-        self._correct(
-            np.array([altitude_m]), h, np.array([[self.baro_noise_m**2]])
-        )
+        if self._baro_noise_key != self.baro_noise_m:
+            self._baro_r = np.array([[self.baro_noise_m**2]])
+            self._baro_noise_key = self.baro_noise_m
+        self._correct(np.array([altitude_m]), _H_BARO, self._baro_r)
 
     @hot_path
     def update_magnetometer(self, yaw_rad: float) -> None:
         """Heading correction (magnetometer runs at 10 Hz, Table 2a)."""
-        h = np.zeros((1, STATE_SIZE))
-        h[0, 8] = 1.0
+        if self._mag_noise_key != self.mag_noise_rad:
+            self._mag_r = np.array([[self.mag_noise_rad**2]])
+            self._mag_noise_key = self.mag_noise_rad
         innovation_wrap = _wrap_angle(yaw_rad - self.state[8]) + self.state[8]
-        self._correct(
-            np.array([innovation_wrap]), h, np.array([[self.mag_noise_rad**2]])
-        )
+        self._correct(np.array([innovation_wrap]), _H_MAG, self._mag_r)
 
     @hot_path
     def _correct(
@@ -131,8 +164,7 @@ class InsEkf:
         gain = self.covariance @ h.T @ np.linalg.inv(s)
         self.state = self.state + gain @ innovation
         self.state[8] = _wrap_angle(self.state[8])
-        identity = np.eye(STATE_SIZE)
-        self.covariance = (identity - gain @ h) @ self.covariance
+        self.covariance = (_IDENTITY - gain @ h) @ self.covariance
         if not np.all(np.isfinite(self.state)):
             raise FloatingPointError("EKF state non-finite after correction")
         m = h.shape[0]

@@ -137,6 +137,18 @@ class QuadcopterBody:
         self.inertia_kg_m2 = np.asarray(self.inertia_kg_m2, dtype=float)
         if self.inertia_kg_m2.shape != (3, 3):
             raise ValueError("inertia must be a 3x3 matrix")
+        # Constants and per-tick scratch hoisted out of the step path: arm
+        # geometry and gravity never change in flight, and the body-z thrust
+        # vector / pure-vector quaternion only ever differ in one slot.
+        self._arm_x = self.arm_length_m * np.cos(_ROTOR_ANGLES)
+        self._arm_y = self.arm_length_m * np.sin(_ROTOR_ANGLES)
+        self._wrench_scratch = np.zeros(4)
+        self._gravity_n = np.array(
+            [0.0, 0.0, -self.mass_kg * constants.GRAVITY_M_S2]
+        )
+        self._thrust_body = np.zeros(3)
+        self._airspeed = np.zeros(3)
+        self._omega_quat = np.zeros(4)
 
     @property
     def hover_thrust_per_motor_n(self) -> float:
@@ -158,11 +170,13 @@ class QuadcopterBody:
         if np.any(thrusts < -1e-9):
             raise ValueError("motor thrusts cannot be negative")
         total_thrust = float(np.sum(thrusts))
-        arm_x = self.arm_length_m * np.cos(_ROTOR_ANGLES)
-        arm_y = self.arm_length_m * np.sin(_ROTOR_ANGLES)
-        torque_roll = float(np.sum(arm_y * thrusts))
-        torque_pitch = float(-np.sum(arm_x * thrusts))
-        torque_yaw = float(np.sum(_ROTOR_SPIN * thrusts) * torque_thrust_ratio_m)
+        scratch = self._wrench_scratch
+        torque_roll = float(np.sum(np.multiply(self._arm_y, thrusts, out=scratch)))
+        torque_pitch = float(-np.sum(np.multiply(self._arm_x, thrusts, out=scratch)))
+        torque_yaw = float(
+            np.sum(np.multiply(_ROTOR_SPIN, thrusts, out=scratch))
+            * torque_thrust_ratio_m
+        )
         return total_thrust, np.array([torque_roll, torque_pitch, torque_yaw])
 
     @hot_path
@@ -178,14 +192,15 @@ class QuadcopterBody:
         state = self.state
         rotation = state.rotation
 
-        thrust_world = rotation @ np.array([0.0, 0.0, total_thrust])
-        gravity = np.array([0.0, 0.0, -self.mass_kg * constants.GRAVITY_M_S2])
-        airspeed = state.velocity_m_s.copy()
+        self._thrust_body[2] = total_thrust
+        thrust_world = rotation @ self._thrust_body
+        np.copyto(self._airspeed, state.velocity_m_s)
+        airspeed = self._airspeed
         if self.wind is not None:
             airspeed -= self.wind.step(dt)
         drag = self.environment.drag_force_n(airspeed, self.drag_coefficient_area)
 
-        acceleration = (thrust_world + gravity + drag) / self.mass_kg
+        acceleration = (thrust_world + self._gravity_n + drag) / self.mass_kg
         state.velocity_m_s = state.velocity_m_s + acceleration * dt
         state.position_m = state.position_m + state.velocity_m_s * dt
         # Ground plane: the drone cannot fall through the floor.
@@ -202,8 +217,8 @@ class QuadcopterBody:
         )
         state.angular_velocity_rad_s = omega + omega_dot * dt
 
-        omega_quat = np.concatenate([[0.0], state.angular_velocity_rad_s])
-        q_dot = 0.5 * quaternion_multiply(state.quaternion, omega_quat)
+        self._omega_quat[1:4] = state.angular_velocity_rad_s
+        q_dot = 0.5 * quaternion_multiply(state.quaternion, self._omega_quat)
         state.quaternion = state.quaternion + q_dot * dt
         state.quaternion /= np.linalg.norm(state.quaternion)
         return state

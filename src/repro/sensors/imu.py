@@ -18,6 +18,11 @@ from repro.physics.rigid_body import QuadcopterState
 
 IMU_RATE_RANGE_HZ = (100.0, 200.0)
 
+#: World-frame gravity as specific force (read-only module constant so the
+#: 2 ms sample path does not rebuild it every fire).
+_GRAVITY_W = np.array([0.0, 0.0, constants.GRAVITY_M_S2])
+_GRAVITY_W.setflags(write=False)
+
 
 @dataclass
 class Imu:
@@ -41,6 +46,10 @@ class Imu:
         if self._rng is None:
             self._rng = np.random.default_rng(self.seed)
         self._last_velocity = None
+        # Per-fire scratch: noise draws and the differentiated world
+        # acceleration land in these instead of fresh arrays every 2 ms.
+        self._noise = np.zeros(3)
+        self._accel_world = np.zeros(3)
 
     @property
     def period_s(self) -> float:
@@ -60,23 +69,31 @@ class Imu:
         velocity = state.velocity_m_s
         if self._last_velocity is None:
             accel_world = np.zeros(3)
+            self._last_velocity = velocity.copy()
         else:
-            accel_world = (velocity - self._last_velocity) / dt
-        self._last_velocity = velocity.copy()
+            accel_world = np.subtract(
+                velocity, self._last_velocity, out=self._accel_world
+            )
+            accel_world /= dt
+            np.copyto(self._last_velocity, velocity)
 
         rotation = state.rotation
-        specific_force_world = accel_world + np.array(
-            [0.0, 0.0, constants.GRAVITY_M_S2]
-        )
+        specific_force_world = np.add(accel_world, _GRAVITY_W, out=accel_world)
         accel_body = rotation.T @ specific_force_world
         gyro_body = state.angular_velocity_rad_s.copy()
 
-        accel_body += np.asarray(self.accel_bias_m_s2) + self._rng.normal(
-            0.0, self.accel_noise_m_s2, 3
-        )
-        gyro_body += np.asarray(self.gyro_bias_rad_s) + self._rng.normal(
-            0.0, self.gyro_noise_rad_s, 3
-        )
+        # standard_normal(out=...) then in-place scaling draws the exact
+        # values (and generator state) normal(0, sigma, 3) would; summing
+        # bias + noise first preserves the original rounding order.
+        noise = self._noise
+        self._rng.standard_normal(out=noise)
+        np.multiply(noise, self.accel_noise_m_s2, out=noise)
+        np.add(self.accel_bias_m_s2, noise, out=noise)
+        accel_body += noise
+        self._rng.standard_normal(out=noise)
+        np.multiply(noise, self.gyro_noise_rad_s, out=noise)
+        np.add(self.gyro_bias_rad_s, noise, out=noise)
+        gyro_body += noise
         self.samples += 1
         return accel_body, gyro_body
 

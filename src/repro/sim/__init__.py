@@ -25,6 +25,12 @@ from repro.sim.power_trace import (
     rpi_power_phases,
     synthesize_phased_trace,
 )
+from repro.sim.ensemble import (
+    EnsembleFlightSimulator,
+    LaneSim,
+    clear_ensemble_scratch,
+    hover_gust_monte_carlo,
+)
 from repro.sim.simulator import DroneModel, FlightSimulator, SimSample
 from repro.sim.telemetry import TelemetryLog, TelemetryRecord
 
@@ -51,8 +57,12 @@ __all__ = [
     "rpi_power_phases",
     "synthesize_phased_trace",
     "DroneModel",
+    "EnsembleFlightSimulator",
     "FlightSimulator",
+    "LaneSim",
     "SimSample",
+    "clear_ensemble_scratch",
+    "hover_gust_monte_carlo",
     "TelemetryLog",
     "TelemetryRecord",
 ]

@@ -155,6 +155,12 @@ class FlightSimulator:
             * constants.propeller_disk_area_m2(model.propeller_inch)
         )
         self._last_current_a = 0.0
+        # Per-tick scratch: the voltage-limited thrust command and the
+        # momentum-theory power chain reuse these instead of allocating
+        # fresh 4-vectors every 2 ms.
+        self._thrust_scratch = np.zeros(4)
+        self._power_scratch = np.zeros(4)
+        self._power_root_scratch = np.zeros(4)
 
     # -- target passthrough ------------------------------------------------------
 
@@ -194,9 +200,14 @@ class FlightSimulator:
         (``np.sum`` adds a four-element array in the same left-to-right
         order the loop did); the equality is pinned by the test suite.
         """
-        thrusts_n = np.maximum(np.asarray(motor_thrusts_n, dtype=float), 0.0)
-        ideal_w = thrusts_n * np.sqrt(thrusts_n) / self._induced_power_denom
-        propulsion = float(np.sum(ideal_w / (self._hover_eff * 1.0)))
+        thrusts_n = np.maximum(
+            np.asarray(motor_thrusts_n, dtype=float), 0.0, out=self._power_scratch
+        )
+        root = np.sqrt(thrusts_n, out=self._power_root_scratch)
+        ideal_w = np.multiply(thrusts_n, root, out=root)
+        np.divide(ideal_w, self._induced_power_denom, out=ideal_w)
+        np.divide(ideal_w, self._hover_eff * 1.0, out=ideal_w)
+        propulsion = float(np.sum(ideal_w))
         return propulsion + self.model.compute_power_w + self.model.sensors_power_w
 
     @hot_path
@@ -242,7 +253,7 @@ class FlightSimulator:
         thrust_ceiling = self.model.max_thrust_per_motor_n * min(
             1.0, voltage_ratio
         ) ** 2
-        thrusts = np.minimum(thrusts, thrust_ceiling)
+        thrusts = np.minimum(thrusts, thrust_ceiling, out=self._thrust_scratch)
         self.body.step(thrusts, dt)
 
         power = self.electrical_power_w(thrusts)

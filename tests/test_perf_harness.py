@@ -132,3 +132,51 @@ class TestCommittedBaselines:
         payload = harness.load_baseline(_HARNESS_PATH.parent / "BENCH_sweep.json")
         assert payload["speedup"] >= 10.0
         assert payload["grid_points"] == 261
+
+
+class TestCountArrayConstructions:
+    def test_counts_named_constructors(self):
+        import numpy as np
+
+        def workload():
+            np.zeros(3)
+            np.array([1.0, 2.0])
+            np.empty(2)
+            np.ones(4)
+            np.full(2, 7.0)
+
+        assert harness.count_array_constructions(workload) == 5
+
+    def test_zero_for_construction_free_workload(self):
+        import numpy as np
+
+        buffer = np.zeros(3)
+        assert harness.count_array_constructions(
+            lambda: np.add(buffer, 1.0, out=buffer)
+        ) == 0
+
+    def test_restores_constructors_after_exception(self):
+        import numpy as np
+
+        originals = tuple(
+            getattr(np, name) for name in harness._CONSTRUCTOR_NAMES
+        )
+
+        def boom():
+            raise RuntimeError("workload failed")
+
+        with pytest.raises(RuntimeError, match="workload failed"):
+            harness.count_array_constructions(boom)
+        restored = tuple(
+            getattr(np, name) for name in harness._CONSTRUCTOR_NAMES
+        )
+        assert restored == originals
+
+    def test_ensemble_baseline_loads_when_committed(self):
+        path = _HARNESS_PATH.parent / "BENCH_ensemble.json"
+        payload = harness.load_baseline(path)
+        assert payload["speedup"] >= 5.0
+        assert payload["trials"] == 64
+        assert payload["fingerprints_equal"] is True
+        assert payload["verify_replay_ok"] is True
+        assert payload["allocation_budget_ok"] is True
